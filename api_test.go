@@ -1,0 +1,170 @@
+package emnoise
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	plat, err := JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := NewBench(plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench.Samples = 3
+	a72, err := plat.Domain(DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := bench.FastResonanceSweep(a72, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.ResonanceHz < 60e6 || sweep.ResonanceHz > 80e6 {
+		t.Fatalf("resonance %v", sweep.ResonanceHz)
+	}
+	cfg := DefaultGAConfig(a72.Spec.Pool())
+	cfg.PopulationSize, cfg.Generations = 10, 4
+	res, err := bench.GenerateVirus(a72, cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best.Seq) != cfg.SeqLen {
+		t.Fatalf("virus length %d", len(res.Best.Seq))
+	}
+	// Assembly round trip through the facade.
+	text := FormatProgram(a72.Spec.Pool(), res.Best.Seq)
+	back, err := ParseProgram(a72.Spec.Pool(), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Best.Seq) {
+		t.Fatal("round trip lost instructions")
+	}
+}
+
+func TestPublicWorkloadsAndVmin(t *testing.T) {
+	plat, err := AMDDesktop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := plat.Domain(DomainAthlon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadByName("prime95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Build(d.Spec.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester := NewVminTester(d, 1)
+	res, err := tester.Search(Load{Seq: seq, ActiveCores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VminV <= 0 || res.Outcome == Pass {
+		t.Fatalf("vmin result %+v", res)
+	}
+	if len(Workloads()) < 15 {
+		t.Fatalf("only %d workloads", len(Workloads()))
+	}
+}
+
+func TestPublicPoolXML(t *testing.T) {
+	var b strings.Builder
+	if err := WritePoolXML(&b, ARM64Pool()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPoolXML(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arch != ARM64 {
+		t.Fatalf("arch %v", p.Arch)
+	}
+	if X86Pool().Arch != X86 {
+		t.Fatal("x86 pool arch")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(Experiments()) != 19 {
+		t.Fatalf("%d experiments", len(Experiments()))
+	}
+	e, err := ExperimentByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewExperimentContext(ExperimentOptions{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig6" || res.Text == "" {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestPublicLab(t *testing.T) {
+	plat, err := JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := NewBench(plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench.Samples = 3
+	srv, err := NewLabServer(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+	c, err := DialLab(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	name, domains, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" || len(domains) != 2 {
+		t.Fatalf("info %q %v", name, domains)
+	}
+}
+
+func TestPublicCoreConstructors(t *testing.T) {
+	for _, cfg := range []CoreConfig{CortexA72Core(), CortexA53Core(), AthlonIICore()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	ant := DefaultLoopAntenna()
+	if err := ant.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	band := DefaultBand()
+	if band.Lo >= band.Hi {
+		t.Fatal("band inverted")
+	}
+	if NewOCDSO(1) == nil || NewBenchScope(1) == nil || NewSCL(0.5) == nil {
+		t.Fatal("instrument constructors returned nil")
+	}
+}

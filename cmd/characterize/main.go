@@ -1,0 +1,181 @@
+// Command characterize runs the complete EM-only characterization flow on
+// one voltage domain and writes a session report:
+//
+//  1. fast resonance sweep (Section 5.3),
+//  2. EM-driven GA virus generation (Sections 3, 5.1),
+//  3. V_MIN campaign with the evolved virus and a benchmark set,
+//
+// all with no voltage probing. The JSON report stores the resonance, the
+// virus (as re-runnable assembly) and the V_MIN table.
+//
+// Usage:
+//
+//	characterize -platform juno -domain cortex-a72 -cores 2 -out a72.json
+//	characterize -platform amd -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/em"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/session"
+	"repro/internal/vmin"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
+		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
+		cores   = flag.Int("cores", 0, "active cores (default: all powered)")
+		quick   = flag.Bool("quick", false, "reduced GA scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "write the session report JSON here (default stdout)")
+		bench   = flag.String("workloads", "idle,lbm,prime95", "benchmarks for the V_MIN comparison")
+	)
+	flag.Parse()
+
+	p, err := buildPlatform(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	name := *domName
+	if name == "" {
+		name = p.Domains()[0].Spec.Name
+	}
+	d, err := p.Domain(name)
+	if err != nil {
+		fatal(err)
+	}
+	active := *cores
+	if active == 0 {
+		active = d.PoweredCores()
+	}
+	b, err := core.NewBench(p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		b.Samples = 5
+	}
+	rep := session.New(p, d, time.Now())
+
+	// 1. Resonance.
+	fmt.Fprintf(os.Stderr, "characterize: fast resonance sweep on %s/%s...\n", p.Name, d.Spec.Name)
+	sweep, err := b.FastResonanceSweep(d, active)
+	if err != nil {
+		fatal(err)
+	}
+	rep.SetSweep(sweep)
+	fmt.Fprintf(os.Stderr, "  first-order resonance: %s\n", report.MHz(sweep.ResonanceHz))
+
+	// 2. Virus.
+	cfg := ga.DefaultConfig(d.Spec.Pool())
+	cfg.Seed = *seed
+	if *quick {
+		cfg.PopulationSize, cfg.Generations = 20, 15
+	}
+	fmt.Fprintf(os.Stderr, "characterize: evolving dI/dt virus (%dx%d)...\n",
+		cfg.PopulationSize, cfg.Generations)
+	virus, err := b.GenerateVirus(d, cfg, active, nil)
+	if err != nil {
+		fatal(err)
+	}
+	rep.SetVirus(d.Spec.Pool(), virus)
+	fmt.Fprintf(os.Stderr, "  virus dominant: %s (%s)\n",
+		report.MHz(virus.Best.DominantHz), report.DBm(virus.Best.Fitness))
+
+	// 3. V_MIN campaign.
+	tester := vmin.NewTester(d, *seed+1)
+	runVmin := func(label string, load platform.Load) {
+		res, err := tester.Search(load)
+		if err != nil {
+			fatal(fmt.Errorf("vmin of %s: %w", label, err))
+		}
+		rep.AddVmin(label, res)
+		fmt.Fprintf(os.Stderr, "  %-12s Vmin %s (margin %s)\n",
+			label, report.Volts(res.VminV), report.MV(res.MarginV))
+	}
+	fmt.Fprintln(os.Stderr, "characterize: V_MIN campaign...")
+	for _, wn := range splitList(*bench) {
+		w, err := workload.ByName(wn)
+		if err != nil {
+			fatal(err)
+		}
+		seq, err := w.Build(d.Spec.Pool())
+		if err != nil {
+			fatal(err)
+		}
+		runVmin(w.Name, platform.Load{Seq: seq, ActiveCores: active})
+	}
+	runVmin("emVirus", platform.Load{Seq: virus.Best.Seq, ActiveCores: active})
+
+	// Emit the report.
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Save(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "characterize: report written to %s\n", *out)
+	}
+}
+
+func buildPlatform(name string) (*platform.Platform, error) {
+	switch name {
+	case "juno":
+		return platform.JunoR2()
+	case "amd":
+		return platform.AMDDesktop()
+	case "gpu":
+		return platform.GPUCard()
+	}
+	if strings.HasSuffix(name, ".json") {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		spec, err := platform.LoadSpecJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return platform.NewPlatform(spec.Name, em.DefaultLoopAntenna(), spec)
+	}
+	return nil, fmt.Errorf("unknown platform %q (want juno, amd, gpu or a .json spec)", name)
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command gahunt runs a GA stress-test (dI/dt virus) search on a platform,
+// driven by EM feedback (the paper's methodology) or — on domains with
+// voltage visibility — by direct droop or peak-to-peak measurements.
+//
+// Usage:
+//
+//	gahunt -platform juno -domain cortex-a72 -cores 2 [-metric em]
+//	gahunt -platform amd -domain athlon-ii-x4 -metric droop -out virus.s
+//	gahunt -remote host:9740 -domain cortex-a72 -cores 2
+//
+// With -remote the individuals are shipped to a labtarget daemon and
+// measured there (the paper's workstation/target split).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/lab"
+	"repro/internal/platform"
+	"repro/internal/session"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "juno", "platform: juno or amd")
+		domName = flag.String("domain", platform.DomainA72, "voltage domain to attack")
+		cores   = flag.Int("cores", 2, "active cores running the virus")
+		metric  = flag.String("metric", "em", "fitness: em, droop or ptp")
+		pop     = flag.Int("pop", 50, "population size")
+		gens    = flag.Int("gens", 60, "generations")
+		seqLen  = flag.Int("len", 50, "instructions per individual")
+		samples = flag.Int("samples", 30, "analyzer sweeps averaged per measurement")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "write the winning virus as assembly to this file")
+		remote  = flag.String("remote", "", "labtarget address for remote measurement")
+		islands = flag.Int("islands", 1, "island-model populations (1 = classic single population)")
+		sess    = flag.String("session", "", "write a JSON session report to this file")
+	)
+	flag.Parse()
+
+	p, err := buildPlatform(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := p.Domain(*domName)
+	if err != nil {
+		fatal(err)
+	}
+	pool := d.Spec.Pool()
+	cfg := ga.DefaultConfig(pool)
+	cfg.PopulationSize = *pop
+	cfg.Generations = *gens
+	cfg.SeqLen = *seqLen
+	cfg.Seed = *seed
+
+	measurer, cleanup, err := buildMeasurer(p, d, *metric, *cores, *samples, *seed, *remote)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	fmt.Printf("gahunt: %s/%s, %d cores, metric=%s, %dx%d, %d island(s)\n",
+		p.Name, d.Spec.Name, *cores, *metric, *pop, *gens, *islands)
+	start := time.Now()
+	var res *ga.Result
+	if *islands > 1 {
+		icfg := ga.IslandConfig{
+			Base:              cfg,
+			Islands:           *islands,
+			MigrationInterval: max(1, *gens/6),
+			Migrants:          2,
+		}
+		res, err = ga.RunIslands(icfg, measurer, func(s ga.IslandStats) {
+			fmt.Printf("isl %d gen %3d: best %8.2f  dominant %7.2f MHz\n",
+				s.Island, s.Gen, s.BestFitness, s.BestDominant/1e6)
+		})
+	} else {
+		res, err = ga.Run(cfg, measurer, func(s ga.GenerationStats) {
+			fmt.Printf("gen %3d: best %8.2f  mean %8.2f  dominant %7.2f MHz\n",
+				s.Gen, s.BestFitness, s.MeanFitness, s.BestDominant/1e6)
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in %v: best fitness %.2f, dominant %.2f MHz\n",
+		time.Since(start).Round(time.Millisecond), res.Best.Fitness, res.Best.DominantHz/1e6)
+	if *sess != "" {
+		rep := session.New(p, d, time.Now())
+		rep.SetVirus(pool, res)
+		f, err := os.Create(*sess)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("session report written to %s\n", *sess)
+	}
+	text := isa.FormatProgram(pool, res.Best.Seq)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("virus written to %s\n", *out)
+	} else {
+		fmt.Println(text)
+	}
+}
+
+func buildPlatform(name string) (*platform.Platform, error) {
+	switch name {
+	case "juno":
+		return platform.JunoR2()
+	case "amd":
+		return platform.AMDDesktop()
+	default:
+		return nil, fmt.Errorf("unknown platform %q (want juno or amd)", name)
+	}
+}
+
+func buildMeasurer(p *platform.Platform, d *platform.Domain, metric string,
+	cores, samples int, seed int64, remote string) (ga.Measurer, func(), error) {
+	if remote != "" {
+		client, err := lab.Dial(remote, 5*time.Second)
+		if err != nil {
+			return nil, nil, err
+		}
+		return client.Measurer(d.Spec.Name, cores, samples, d.Spec.Pool()),
+			func() { client.Close() }, nil
+	}
+	bench, err := core.NewBench(p, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	bench.Samples = samples
+	noop := func() {}
+	switch metric {
+	case "em":
+		return bench.EMMeasurer(d, cores), noop, nil
+	case "droop":
+		return bench.DroopMeasurer(d, cores, scopeFor(d, seed)), noop, nil
+	case "ptp":
+		return bench.PtpMeasurer(d, cores, scopeFor(d, seed)), noop, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown metric %q (want em, droop or ptp)", metric)
+	}
+}
+
+func scopeFor(d *platform.Domain, seed int64) *instrument.DSO {
+	if d.Spec.VoltageVisibility == "kelvin-pads" {
+		return instrument.NewBenchScope(seed)
+	}
+	return instrument.NewOCDSO(seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gahunt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command labtarget is the target-machine daemon of the paper's distributed
+// measurement setup (Section 3.2): it owns the platform under test and the
+// bench instruments, and executes the workstation's commands — assemble and
+// run shipped stress loops, take analyzer measurements, sweep clocks,
+// power-gate cores.
+//
+// Usage:
+//
+//	labtarget -listen :9740 -platform juno
+//
+// then point `gahunt -remote host:9740` at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9740", "address to listen on")
+		plat   = flag.String("platform", "juno", "platform: juno or amd")
+		seed   = flag.Int64("seed", 1, "random seed for the bench instruments")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	switch *plat {
+	case "juno":
+		p, err = platform.JunoR2()
+	case "amd":
+		p, err = platform.AMDDesktop()
+	default:
+		err = fmt.Errorf("unknown platform %q", *plat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := core.NewBench(p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := lab.NewServer(bench)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("labtarget: serving %s on %s\n", p.Name, ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labtarget:", err)
+	os.Exit(1)
+}

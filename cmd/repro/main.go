@@ -1,0 +1,126 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp fig7 [-quick] [-seed N]
+//	repro -exp all  [-quick] [-seed N]
+//
+// Each experiment prints its report (series and tables) followed by its
+// headline values. Without -quick the paper-scale settings are used
+// (50x60 GA runs, 30 V_MIN repetitions), which takes a few minutes for the
+// full suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1b..fig18, tab1, tab2, ext-*), \"all\", \"ext\" or \"everything\"")
+		quick = flag.Bool("quick", false, "reduced GA/repetition scale (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 7, "random seed for all stochastic components")
+		list  = flag.Bool("list", false, "list available experiments")
+		out   = flag.String("out", "", "also write per-experiment reports and a summary.md into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "repro: pass -exp <id|all> or -list")
+		os.Exit(2)
+	}
+	ctx, err := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	var toRun []experiments.Experiment
+	switch *exp {
+	case "all":
+		toRun = experiments.All()
+	case "ext":
+		toRun = experiments.Extensions()
+	case "everything":
+		toRun = append(experiments.All(), experiments.Extensions()...)
+	default:
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+	var results []*experiments.Result
+	for _, e := range toRun {
+		res, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		results = append(results, res)
+		fmt.Printf("==== %s: %s ====\n\n", res.ID, res.Title)
+		fmt.Println(res.Text)
+		fmt.Println("headline values:")
+		for _, k := range keys(res.Values) {
+			fmt.Printf("  %-32s %.6g\n", k, res.Values[k])
+		}
+		fmt.Println()
+	}
+	if *out != "" {
+		if err := writeReports(*out, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "repro: reports written to %s\n", *out)
+	}
+}
+
+// writeReports dumps each experiment's report to <dir>/<id>.txt and a
+// machine-diffable summary of headline values to <dir>/summary.md.
+func writeReports(dir string, results []*experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var md strings.Builder
+	md.WriteString("# Experiment summary\n\n| experiment | metric | value |\n|---|---|---|\n")
+	for _, res := range results {
+		body := fmt.Sprintf("%s: %s\n\n%s", res.ID, res.Title, res.Text)
+		if err := os.WriteFile(filepath.Join(dir, res.ID+".txt"), []byte(body), 0o644); err != nil {
+			return err
+		}
+		for _, k := range keys(res.Values) {
+			fmt.Fprintf(&md, "| %s | %s | %.6g |\n", res.ID, k, res.Values[k])
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "summary.md"), []byte(md.String()), 0o644)
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

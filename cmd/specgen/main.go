@@ -1,0 +1,55 @@
+// Command specgen dumps a built-in domain spec as JSON, to serve as a
+// template for describing custom hardware:
+//
+//	specgen -platform juno -domain cortex-a72 > mychip.json
+//	# edit mychip.json: PDN values, core model, EM path...
+//	characterize -platform mychip.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "juno", "platform: juno, amd or gpu")
+		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	switch *plat {
+	case "juno":
+		p, err = platform.JunoR2()
+	case "amd":
+		p, err = platform.AMDDesktop()
+	case "gpu":
+		p, err = platform.GPUCard()
+	default:
+		err = fmt.Errorf("unknown platform %q", *plat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	name := *domName
+	if name == "" {
+		name = p.Domains()[0].Spec.Name
+	}
+	d, err := p.Domain(name)
+	if err != nil {
+		fatal(err)
+	}
+	if err := platform.SaveSpecJSON(os.Stdout, d.Spec); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specgen:", err)
+	os.Exit(1)
+}

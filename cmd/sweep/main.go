@@ -1,0 +1,87 @@
+// Command sweep runs the paper's fast EM resonance sweep (Section 5.3):
+// the two-phase probe loop executes while the CPU clock steps through its
+// range, and the loop frequency with the strongest emission reveals the
+// PDN's first-order resonance — in minutes, with no voltage probing.
+//
+// Usage:
+//
+//	sweep -platform juno -domain cortex-a72 -powered 2 -active 2
+//	sweep -platform juno -domain cortex-a53 -powered 1 -active 1
+//	sweep -platform amd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "juno", "platform: juno or amd")
+		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
+		powered = flag.Int("powered", 0, "powered cores (default: all)")
+		active  = flag.Int("active", 1, "cores running the probe loop")
+		seed    = flag.Int64("seed", 1, "random seed")
+		samples = flag.Int("samples", 30, "analyzer sweeps averaged per point")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	switch *plat {
+	case "juno":
+		p, err = platform.JunoR2()
+	case "amd":
+		p, err = platform.AMDDesktop()
+	default:
+		err = fmt.Errorf("unknown platform %q", *plat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	name := *domName
+	if name == "" {
+		name = p.Domains()[0].Spec.Name
+	}
+	d, err := p.Domain(name)
+	if err != nil {
+		fatal(err)
+	}
+	if *powered > 0 {
+		if err := d.SetPoweredCores(*powered); err != nil {
+			fatal(err)
+		}
+	}
+	bench, err := core.NewBench(p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	bench.Samples = *samples
+
+	res, err := bench.FastResonanceSweep(d, *active)
+	if err != nil {
+		fatal(err)
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, pt := range res.Points {
+		xs[i] = pt.LoopHz / 1e6
+		ys[i] = pt.PeakDBm
+	}
+	fmt.Print(report.Series(
+		fmt.Sprintf("Fast EM sweep: %s/%s, %d powered / %d active cores",
+			p.Name, d.Spec.Name, d.PoweredCores(), *active),
+		"loop freq (MHz)", "peak (dBm)", xs, ys))
+	fmt.Printf("\nfirst-order resonance estimate: %s (peak %s)\n",
+		report.MHz(res.ResonanceHz), report.DBm(res.PeakDBm))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command vmin runs the paper's V_MIN methodology (Section 5.2) over a set
+// of workloads: lower the supply in board-granularity steps until any
+// deviation from nominal execution appears, and report the highest failing
+// voltage, the failure class and the workload's droop at nominal.
+//
+// Usage:
+//
+//	vmin -platform juno -domain cortex-a72 -cores 2 -workloads idle,lbm,probe
+//	vmin -platform amd -workloads all -repeats 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/vmin"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "juno", "platform: juno or amd")
+		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
+		cores   = flag.Int("cores", 0, "active cores (default: all powered)")
+		names   = flag.String("workloads", "idle,lbm,probe", "comma-separated workloads, or \"all\"")
+		repeats = flag.Int("repeats", 1, "repetitions per workload (paper uses 30 for viruses)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		shmoo   = flag.Bool("shmoo", false, "sweep the clock and report Vmin per frequency instead")
+	)
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	switch *plat {
+	case "juno":
+		p, err = platform.JunoR2()
+	case "amd":
+		p, err = platform.AMDDesktop()
+	default:
+		err = fmt.Errorf("unknown platform %q", *plat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	name := *domName
+	if name == "" {
+		name = p.Domains()[0].Spec.Name
+	}
+	d, err := p.Domain(name)
+	if err != nil {
+		fatal(err)
+	}
+	active := *cores
+	if active == 0 {
+		active = d.PoweredCores()
+	}
+	var list []string
+	if *names == "all" {
+		for _, w := range workload.All() {
+			list = append(list, w.Name)
+		}
+	} else {
+		list = strings.Split(*names, ",")
+	}
+
+	tester := vmin.NewTester(d, *seed)
+	if *shmoo {
+		runShmoo(tester, p, d, list, active)
+		return
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("V_MIN on %s/%s (%d active cores, %d repeats)", p.Name, d.Spec.Name, active, *repeats),
+		"workload", "Vmin", "margin", "droop@nominal", "first failure")
+	for _, wn := range list {
+		w, err := workload.ByName(strings.TrimSpace(wn))
+		if err != nil {
+			fatal(err)
+		}
+		seq, err := w.Build(d.Spec.Pool())
+		if err != nil {
+			fatal(err)
+		}
+		res, _, err := tester.Repeat(platform.Load{Seq: seq, ActiveCores: active}, *repeats)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", w.Name, err))
+		}
+		tb.AddRow(w.Name, report.Volts(res.VminV), report.MV(res.MarginV),
+			report.MV(res.DroopNominalV), res.Outcome.String())
+	}
+	fmt.Print(tb.String())
+}
+
+// runShmoo prints a Vmin-vs-frequency curve per workload.
+func runShmoo(tester *vmin.Tester, p *platform.Platform, d *platform.Domain, list []string, active int) {
+	var clocks []float64
+	steps := d.ClockSteps()
+	// Sample ~8 clocks from max downward.
+	stride := len(steps) / 8
+	if stride < 1 {
+		stride = 1
+	}
+	for i := len(steps) - 1; i >= 0; i -= stride {
+		clocks = append(clocks, steps[i])
+	}
+	for _, wn := range list {
+		w, err := workload.ByName(strings.TrimSpace(wn))
+		if err != nil {
+			fatal(err)
+		}
+		seq, err := w.Build(d.Spec.Pool())
+		if err != nil {
+			fatal(err)
+		}
+		points, err := tester.Shmoo(platform.Load{Seq: seq, ActiveCores: active}, clocks)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", w.Name, err))
+		}
+		tb := report.NewTable(fmt.Sprintf("Shmoo: %s on %s/%s", w.Name, p.Name, d.Spec.Name),
+			"clock", "Vmin", "margin")
+		for _, pt := range points {
+			tb.AddRow(report.MHz(pt.ClockHz), report.Volts(pt.VminV), report.MV(pt.MarginV))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Custom platform: the methodology is cross-platform by construction
+// (Section 1.1), so characterizing a CPU nobody has modelled before is a
+// matter of describing its PDN, its core and its EM coupling. This example
+// builds a fictional octa-core server part, finds its resonance with the
+// fast sweep, verifies against the analytic model, and evolves a virus.
+//
+//	go run ./examples/custom_platform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emnoise "repro"
+)
+
+func main() {
+	// An octa-core in-order server part on a stiff package: lots of die
+	// capacitance, so a fairly low first-order resonance.
+	pdnParams := emnoise.PDNParams{
+		Name:       "octane-soc",
+		VNominal:   0.9,
+		CDieCore:   5e-9,
+		CDieUncore: 8e-9,
+		RDie:       0.015,
+		LPkg:       120e-12,
+		RPkgTrace:  0.4e-3,
+		CPkg:       2e-6,
+		ESRPkg:     15e-3,
+		ESLPkg:     50e-12,
+		LPcb:       2e-9,
+		RPcbTrace:  1e-3,
+		CPcb:       400e-6,
+		ESRPcb:     2e-3,
+		ESLPcb:     1e-9,
+		LVrm:       15e-9,
+		RVrm:       0.5e-3,
+	}
+	core := emnoise.CortexA53Core() // reuse the in-order model
+	core.Name = "octane-core"
+
+	spec := emnoise.DomainSpec{
+		Name:              "octane",
+		Board:             "custom-eval-board",
+		ISA:               emnoise.ARM64,
+		PDN:               pdnParams,
+		Core:              core,
+		TotalCores:        8,
+		MaxClockHz:        1.5e9,
+		ClockStepHz:       25e6,
+		VoltageVisibility: "none", // exactly the case the EM method exists for
+		EMPath:            emnoise.EMPath{DistanceM: 0.08, CouplingK: 1e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           emnoise.FailureParams{VCritAtMax: 0.68, SlackPerHz: 1e-10, SDCBand: 0.010},
+		TechNode:          7,
+		OS:                "Linux",
+	}
+	plat, err := emnoise.NewPlatform("octane-board", emnoise.DefaultLoopAntenna(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := plat.Domain("octane")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What the physics says (we built the PDN, so we can peek).
+	model, err := d.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, _, err := model.ResonancePeak(20e6, 200e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic model: first-order resonance at %.1f MHz\n", truth/1e6)
+
+	// What the antenna says (all a real user would have).
+	bench, err := emnoise.NewBench(plat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Samples = 10
+	sweep, err := bench.FastResonanceSweep(d, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EM fast sweep: first-order resonance at %.1f MHz\n", sweep.ResonanceHz/1e6)
+
+	// And a virus for margin testing, evolved blind.
+	cfg := emnoise.DefaultGAConfig(d.Spec.Pool())
+	cfg.PopulationSize = 20
+	cfg.Generations = 15
+	virus, err := bench.GenerateVirus(d, cfg, 8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evolved virus dominant frequency: %.1f MHz\n", virus.Best.DominantHz/1e6)
+
+	tester := emnoise.NewVminTester(d, 7)
+	res, err := tester.Search(emnoise.Load{Seq: virus.Best.Seq, ActiveCores: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virus V_MIN %.3f V -> usable margin below nominal: %.0f mV\n",
+		res.VminV, res.MarginV*1e3)
+}

@@ -1,0 +1,85 @@
+// Multi-domain monitoring: a single antenna observes voltage emergencies on
+// both Juno voltage domains at once (the paper's Figure 15) — something no
+// physically attached single-rail probe can do. Both clusters run their
+// own evolved viruses simultaneously and the combined spectrum shows both
+// resonance signatures.
+//
+//	go run ./examples/multidomain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emnoise "repro"
+)
+
+func main() {
+	plat, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := emnoise.NewBench(plat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Samples = 10
+
+	a72, err := plat.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a53, err := plat.Domain(emnoise.DomainA53)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evolve := func(d *emnoise.Domain, cores int) []emnoise.Inst {
+		cfg := emnoise.DefaultGAConfig(d.Spec.Pool())
+		cfg.PopulationSize = 20
+		cfg.Generations = 15
+		res, err := bench.GenerateVirus(d, cfg, cores, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s virus dominant: %.1f MHz\n", d.Spec.Name, res.Best.DominantHz/1e6)
+		return res.Best.Seq
+	}
+	v72 := evolve(a72, 2)
+	v53 := evolve(a53, 4)
+
+	sweep, err := bench.MonitorAll(map[string]emnoise.Load{
+		emnoise.DomainA72: {Seq: v72, ActiveCores: 2},
+		emnoise.DomainA53: {Seq: v53, ActiveCores: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncombined spectrum, 50-110 MHz (both viruses running):")
+	for i, f := range sweep.Freqs {
+		if f < 50e6 || f > 110e6 {
+			continue
+		}
+		bar := int(sweep.DBm[i]) + 95 // crude dB-above-floor bar
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Printf("%6.1f MHz %7.1f dBm  %s\n", f/1e6, sweep.DBm[i], stars(bar/2))
+	}
+	f72, p72, _ := sweep.PeakInBand(55e6, 72e6)
+	f53, p53, _ := sweep.PeakInBand(72e6, 90e6)
+	fmt.Printf("\nA72 signature at %.1f MHz (%.1f dBm); A53 signature at %.1f MHz (%.1f dBm)\n",
+		f72/1e6, p72, f53/1e6, p53)
+}
+
+func stars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

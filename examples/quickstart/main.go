@@ -1,0 +1,62 @@
+// Quickstart: characterize a CPU's power-delivery network using only its
+// electromagnetic emanations — no voltage probes, no on-chip monitors.
+//
+// This walks the paper's core loop on the simulated ARM Juno R2 board:
+// build the bench (platform + antenna + spectrum analyzer), locate the
+// PDN's first-order resonance with the fast clock sweep, then evolve a
+// dI/dt stress virus whose fitness is nothing but the received EM peak.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emnoise "repro"
+)
+
+func main() {
+	plat, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := emnoise.NewBench(plat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Samples = 10 // fewer analyzer sweeps per point than the paper's 30: quick demo
+
+	a72, err := plat.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the Section 5.3 fast resonance sweep (~15 minutes on real
+	// hardware, a second here).
+	sweep, err := bench.FastResonanceSweep(a72, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast sweep: first-order resonance ~ %.1f MHz (peak %.1f dBm, %d clock steps)\n",
+		sweep.ResonanceHz/1e6, sweep.PeakDBm, len(sweep.Points))
+
+	// Step 2: evolve an EM-guided dI/dt virus. A short run for the demo;
+	// the paper uses 50 individuals for 60+ generations.
+	cfg := emnoise.DefaultGAConfig(a72.Spec.Pool())
+	cfg.PopulationSize = 24
+	cfg.Generations = 20
+	virus, err := bench.GenerateVirus(a72, cfg, 2, func(s emnoise.GAStats) {
+		fmt.Printf("  gen %2d: best %6.2f dBm, dominant %6.2f MHz\n",
+			s.Gen, s.BestFitness, s.BestDominant/1e6)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virus dominant frequency %.2f MHz — the GA found the resonance blind\n",
+		virus.Best.DominantHz/1e6)
+
+	// Step 3: the evolved individual is ordinary assembly.
+	fmt.Println("\nwinning stress loop:")
+	fmt.Print(emnoise.FormatProgram(a72.Spec.Pool(), virus.Best.Seq))
+}

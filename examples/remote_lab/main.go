@@ -1,0 +1,91 @@
+// Remote lab: the paper's distributed setup (Section 3.2) — the GA runs on
+// a workstation, each individual's source is shipped to the target machine,
+// assembled and executed there, measured with the bench instruments, then
+// killed. Here both ends run in one process over a loopback TCP socket, but
+// the protocol is the same one `cmd/labtarget` serves, so the workstation
+// half works unchanged against a remote daemon.
+//
+//	go run ./examples/remote_lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	emnoise "repro"
+)
+
+func main() {
+	// Target machine side: the platform under test plus the instruments.
+	plat, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := emnoise.NewBench(plat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := emnoise.NewLabServer(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("labtarget serving on %s\n", ln.Addr())
+
+	// Workstation side: everything below talks only through the socket.
+	client, err := emnoise.DialLab(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	name, domains, err := client.Info()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected to %s (domains: %v)\n", name, domains)
+
+	// Remote fast sweep.
+	resHz, peak, points, err := client.Sweep(emnoise.DomainA72, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote sweep: resonance %.1f MHz (peak %.1f dBm, %d points)\n",
+		resHz/1e6, peak, points)
+
+	// Remote GA: the measurer ships each individual over the wire.
+	a72, err := plat.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := a72.Spec.Pool()
+	cfg := emnoise.DefaultGAConfig(pool)
+	cfg.PopulationSize = 16
+	cfg.Generations = 8
+	measurer := client.Measurer(emnoise.DomainA72, 2, 5, pool)
+	res, err := emnoise.RunGA(cfg, measurer, func(s emnoise.GAStats) {
+		fmt.Printf("gen %d: best %.2f dBm @ %.1f MHz\n",
+			s.Gen, s.BestFitness, s.BestDominant/1e6)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Remote V_MIN of the evolved virus.
+	if err := client.Load(emnoise.DomainA72, 2, pool, res.Best.Seq); err != nil {
+		log.Fatal(err)
+	}
+	vres, err := client.Vmin(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virus V_MIN (remote, worst of 3): %.3f V, margin %.0f mV (%s)\n",
+		vres.VminV, vres.MarginV*1e3, vres.Outcome)
+}

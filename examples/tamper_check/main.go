@@ -1,0 +1,92 @@
+// Tamper check: the fast resonance sweep as a supply-chain integrity tool
+// (the paper's Section 5.3 motivates "tampering detection" as a use of
+// quick PDN characterization). A board's first-order resonance and sweep
+// curve form an electrical fingerprint; a hardware implant or board rework
+// changes the PDN's reactances and shifts it — detectable with nothing but
+// the antenna, no matter how well the implant hides from software.
+//
+//	go run ./examples/tamper_check
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emnoise "repro"
+)
+
+func main() {
+	// Provisioning: fingerprint the genuine board.
+	genuine, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := emnoise.NewBench(genuine, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a72, err := genuine.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reference, err := emnoise.CaptureFingerprint(bench, a72, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference fingerprint: resonance %.2f MHz, %d curve points\n",
+		reference.ResonanceHz/1e6, len(reference.CurveHz))
+
+	check := func(label string, plat *emnoise.Platform, seed int64) {
+		b, err := emnoise.NewBench(plat, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := plat.Domain(emnoise.DomainA72)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp, err := emnoise.CaptureFingerprint(b, d, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := emnoise.CompareFingerprints(reference, fp, emnoise.DefaultFingerprintThresholds())
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ok"
+		if rep.Tampered {
+			verdict = "TAMPERED"
+		}
+		fmt.Printf("%-22s shift %+6.2f MHz, curve RMS %.2f dB -> %s (%s)\n",
+			label, rep.ShiftHz/1e6, rep.CurveRMSDB, verdict, rep.Reason)
+	}
+
+	// Field check 1: the same board, months later, different noise.
+	fieldBoard, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("genuine re-check", fieldBoard, 77)
+
+	// Field check 2: an interposer implant between package and board adds
+	// series inductance to the power path.
+	implanted, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a72Spec, err := implanted.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a53Spec, err := implanted.Domain(emnoise.DomainA53)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := a72Spec.Spec
+	spec.PDN.LPkg *= 1.35
+	evil, err := emnoise.NewPlatform("juno-implanted", implanted.Antenna, spec, a53Spec.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("interposer implant", evil, 78)
+}

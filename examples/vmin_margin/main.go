@@ -1,0 +1,69 @@
+// V_MIN margin study: compare the minimum stable operating voltage of
+// ordinary benchmarks against an EM-evolved dI/dt virus on the Cortex-A72,
+// reproducing the structure of the paper's Figure 10 and the Section 8.1
+// margin analysis.
+//
+//	go run ./examples/vmin_margin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emnoise "repro"
+)
+
+func main() {
+	plat, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := emnoise.NewBench(plat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Samples = 10
+	d, err := plat.Domain(emnoise.DomainA72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := d.Spec.Pool()
+
+	// Evolve the virus first (short run for the demo).
+	cfg := emnoise.DefaultGAConfig(pool)
+	cfg.PopulationSize = 24
+	cfg.Generations = 20
+	virus, err := bench.GenerateVirus(d, cfg, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tester := emnoise.NewVminTester(d, 42)
+	nominal := d.Spec.PDN.VNominal
+
+	fmt.Printf("workload      Vmin      margin    droop@nominal  first failure\n")
+	show := func(name string, load emnoise.Load) {
+		res, err := tester.Search(load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %.3f V   %5.0f mV  %8.1f mV    %s\n",
+			name, res.VminV, res.MarginV*1e3, res.DroopNominalV*1e3, res.Outcome)
+	}
+	for _, name := range []string{"idle", "mcf", "povray", "lbm", "prime95"} {
+		w, err := emnoise.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err := w.Build(pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(name, emnoise.Load{Seq: seq, ActiveCores: 2})
+	}
+	show("EM virus", emnoise.Load{Seq: virus.Best.Seq, ActiveCores: 2})
+
+	fmt.Printf("\nnominal supply is %.2f V; the gap between the virus and the noisiest\n", nominal)
+	fmt.Println("benchmark is exactly the margin a designer would have wasted (or the")
+	fmt.Println("crash they would have shipped) without a proper dI/dt stress test.")
+}

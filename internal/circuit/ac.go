@@ -1,0 +1,136 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ACResult holds the complex phasor solution at one frequency.
+type ACResult struct {
+	circuit *Circuit
+	Freq    float64
+	x       []complex128
+}
+
+// Voltage returns the complex node-voltage phasor of the named node.
+func (r *ACResult) Voltage(node string) (complex128, error) {
+	idx, err := r.circuit.nodeIndex(node)
+	if err != nil {
+		return 0, err
+	}
+	if idx < 0 {
+		return 0, nil
+	}
+	return r.x[idx], nil
+}
+
+// Current returns the complex branch-current phasor of the named inductor
+// or voltage source.
+func (r *ACResult) Current(name string) (complex128, error) {
+	for _, l := range r.circuit.ls {
+		if l.name == name {
+			return r.x[l.branch], nil
+		}
+	}
+	for _, v := range r.circuit.vs {
+		if v.name == name {
+			return r.x[v.branch], nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: no inductor or vsource named %q", name)
+}
+
+// ACStimulus gives the small-signal amplitude of each stimulated source by
+// element name. Sources not listed are quiet (DC supplies become AC shorts,
+// current sources open), which is the standard small-signal treatment.
+type ACStimulus map[string]complex128
+
+// SolveAC solves the small-signal phasor system at frequency f (Hz).
+func (c *Circuit) SolveAC(f float64, stim ACStimulus) (*ACResult, error) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("circuit: invalid AC frequency %v", f)
+	}
+	for name := range stim {
+		if _, ok := c.names[name]; !ok {
+			return nil, fmt.Errorf("circuit: AC stimulus references unknown element %q", name)
+		}
+	}
+	n := c.size()
+	if n == 0 {
+		return nil, fmt.Errorf("circuit: empty circuit")
+	}
+	w := 2 * math.Pi * f
+	m := linalg.NewCMatrix(n, n)
+	rhs := make([]complex128, n)
+
+	cadd := func(i, j int, v complex128) {
+		if i < 0 || j < 0 {
+			return
+		}
+		m.Add(i, j, v)
+	}
+	caddRHS := func(i int, v complex128) {
+		if i < 0 {
+			return
+		}
+		rhs[i] += v
+	}
+
+	for _, r := range c.rs {
+		g := complex(1/r.ohms, 0)
+		cadd(r.a, r.a, g)
+		cadd(r.b, r.b, g)
+		cadd(r.a, r.b, -g)
+		cadd(r.b, r.a, -g)
+	}
+	for _, cp := range c.cs {
+		y := complex(0, w*cp.farads)
+		cadd(cp.a, cp.a, y)
+		cadd(cp.b, cp.b, y)
+		cadd(cp.a, cp.b, -y)
+		cadd(cp.b, cp.a, -y)
+	}
+	for _, l := range c.ls {
+		cadd(l.a, l.branch, 1)
+		cadd(l.b, l.branch, -1)
+		cadd(l.branch, l.a, 1)
+		cadd(l.branch, l.b, -1)
+		cadd(l.branch, l.branch, complex(0, -w*l.henrys))
+	}
+	for _, v := range c.vs {
+		cadd(v.a, v.branch, 1)
+		cadd(v.b, v.branch, -1)
+		cadd(v.branch, v.a, 1)
+		cadd(v.branch, v.b, -1)
+		rhs[v.branch] = stim[v.name] // quiet supplies are AC shorts (0)
+	}
+	for _, s := range c.is {
+		amp := stim[s.name]
+		caddRHS(s.a, -amp)
+		caddRHS(s.b, amp)
+	}
+	x, err := linalg.CSolve(m, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
+	}
+	return &ACResult{circuit: c, Freq: f, x: x}, nil
+}
+
+// Impedance returns the driving-point impedance magnitude seen from the
+// named node to ground at frequency f, by injecting a unit AC current
+// through the named current source (which must connect that node).
+func (c *Circuit) Impedance(f float64, isrcName, node string) (complex128, error) {
+	res, err := c.SolveAC(f, ACStimulus{isrcName: 1})
+	if err != nil {
+		return 0, err
+	}
+	v, err := res.Voltage(node)
+	if err != nil {
+		return 0, err
+	}
+	// The source pulls current out of the node, so the driving-point
+	// impedance is -V/I with I = 1.
+	return -v, nil
+}

@@ -1,0 +1,215 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Window identifies a window function applied before a transform.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	BlackmanHarris
+)
+
+// String returns the window's name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case BlackmanHarris:
+		return "blackman-harris"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients for w.
+func (w Window) Coefficients(n int) []float64 {
+	c := make([]float64, n)
+	if n == 1 {
+		c[0] = 1
+		return c
+	}
+	for i := 0; i < n; i++ {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		switch w {
+		case Hann:
+			c[i] = 0.5 * (1 - math.Cos(x))
+		case Hamming:
+			c[i] = 0.54 - 0.46*math.Cos(x)
+		case BlackmanHarris:
+			c[i] = 0.35875 - 0.48829*math.Cos(x) + 0.14128*math.Cos(2*x) - 0.01168*math.Cos(3*x)
+		default:
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// CoherentGain returns the mean of the window coefficients; amplitude
+// spectra are divided by this to recover sinusoid amplitudes.
+func (w Window) CoherentGain(n int) float64 {
+	c := w.Coefficients(n)
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s / float64(n)
+}
+
+// Apply returns x multiplied elementwise by the window. x is not modified.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * c[i]
+	}
+	return out
+}
+
+// RMS returns the root-mean-square of x; 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Mean returns the arithmetic mean of x; 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// MinMax returns the smallest and largest values of x.
+// It panics on an empty slice.
+func MinMax(x []float64) (min, max float64) {
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// PeakToPeak returns max(x) - min(x); 0 for slices shorter than 2.
+func PeakToPeak(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	min, max := MinMax(x)
+	return max - min
+}
+
+// DBm converts power in watts to dBm. Non-positive inputs map to -inf.
+func DBm(watts float64) float64 {
+	if watts <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(watts/1e-3)
+}
+
+// FromDBm converts dBm back to watts.
+func FromDBm(dbm float64) float64 {
+	return 1e-3 * math.Pow(10, dbm/10)
+}
+
+// DB20 converts an amplitude ratio to decibels (20·log10).
+func DB20(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}
+
+// Peak describes a local maximum in a spectrum.
+type Peak struct {
+	Bin  int
+	Freq float64
+	Amp  float64
+}
+
+// FindPeaks returns local maxima of amps (with freqs as the x-axis) whose
+// amplitude is at least minAmp, sorted by descending amplitude. Endpoints
+// qualify if they exceed their single neighbour.
+func FindPeaks(freqs, amps []float64, minAmp float64) []Peak {
+	if len(amps) != len(freqs) {
+		panic("dsp: FindPeaks length mismatch")
+	}
+	var peaks []Peak
+	for i := range amps {
+		if amps[i] < minAmp {
+			continue
+		}
+		left := i == 0 || amps[i] > amps[i-1]
+		right := i == len(amps)-1 || amps[i] >= amps[i+1]
+		if left && right {
+			peaks = append(peaks, Peak{Bin: i, Freq: freqs[i], Amp: amps[i]})
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Amp > peaks[b].Amp })
+	return peaks
+}
+
+// MaxInBand returns the highest amplitude (and its frequency) among bins
+// with lo <= freq <= hi. ok is false if no bin falls in the band.
+func MaxInBand(freqs, amps []float64, lo, hi float64) (freq, amp float64, ok bool) {
+	amp = math.Inf(-1)
+	for i, f := range freqs {
+		if f < lo || f > hi {
+			continue
+		}
+		if amps[i] > amp {
+			freq, amp, ok = f, amps[i], true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return freq, amp, true
+}
+
+// Resample linearly interpolates the samples y (uniformly spaced with step
+// dtIn starting at t=0) onto a new uniform grid with step dtOut and n points.
+// Points beyond the input range hold the final value.
+func Resample(y []float64, dtIn, dtOut float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(y) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) * dtOut
+		pos := t / dtIn
+		k := int(pos)
+		if k >= len(y)-1 {
+			out[i] = y[len(y)-1]
+			continue
+		}
+		frac := pos - float64(k)
+		out[i] = y[k]*(1-frac) + y[k+1]*frac
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package dsp provides the signal-processing primitives used by the
+// simulated instruments: FFT (radix-2 and Bluestein for arbitrary lengths),
+// window functions, amplitude spectra, RMS and dB helpers, and spectral peak
+// finding.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any length is accepted: powers of two use an in-place radix-2
+// algorithm, other lengths use Bluestein's chirp-z transform.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x (normalized by
+// 1/N). The input is not modified.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if len(c) == 0 {
+		return nil
+	}
+	if len(c)&(len(c)-1) == 0 {
+		fftRadix2(c, false)
+		return c
+	}
+	return bluestein(c, false)
+}
+
+// fftRadix2 performs an in-place iterative radix-2 Cooley-Tukey FFT.
+// len(x) must be a power of two. inverse selects conjugated twiddles
+// (without the 1/N normalization).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// using radix-2 FFTs of length m >= 2n-1.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; mod 2n keeps the angle equivalent.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// AmplitudeSpectrum returns single-sided amplitude estimates for a real
+// signal sampled at rate fs: bin k corresponds to frequency k*fs/N for
+// k in [0, N/2]. Non-DC (and non-Nyquist) bins are doubled so a pure
+// sinusoid of amplitude A reports A at its bin.
+func AmplitudeSpectrum(x []float64, fs float64) (freqs, amps []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	spec := FFTReal(x)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	amps = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * fs / float64(n)
+		a := cmplx.Abs(spec[k]) / float64(n)
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			a *= 2
+		}
+		amps[k] = a
+	}
+	return freqs, amps
+}
+
+// BinFreq returns the frequency of bin k for an N-point transform of a
+// signal sampled at fs.
+func BinFreq(k, n int, fs float64) float64 {
+	return float64(k) * fs / float64(n)
+}
+
+// FreqBin returns the nearest bin index for frequency f in an N-point
+// transform at sample rate fs, clamped to [0, n/2].
+func FreqBin(f float64, n int, fs float64) int {
+	k := int(math.Round(f * float64(n) / fs))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}
+
+// Validate panics unless the sample rate and length form a usable spectrum;
+// used by instruments to catch configuration errors early.
+func Validate(n int, fs float64) error {
+	if n <= 0 {
+		return fmt.Errorf("dsp: non-positive length %d", n)
+	}
+	if fs <= 0 || math.IsNaN(fs) || math.IsInf(fs, 0) {
+		return fmt.Errorf("dsp: invalid sample rate %v", fs)
+	}
+	return nil
+}

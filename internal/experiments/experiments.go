@@ -1,0 +1,170 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named, self-contained function over a
+// shared Context (which caches the expensive GA-generated viruses), returns
+// a structured Result, and renders a human-readable report. The cmd/repro
+// binary, the repository's benchmark harness and the regression tests all
+// run the same code.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/platform"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks the GA runs (smaller populations, fewer generations)
+	// and repetition counts so the full suite finishes in seconds. The
+	// paper-scale settings are used when false.
+	Quick bool
+	// Seed makes every stochastic component reproducible.
+	Seed int64
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Text is the rendered report (tables/series).
+	Text string
+	// Values holds the headline numbers for regression checks and
+	// EXPERIMENTS.md, keyed by metric name.
+	Values map[string]float64
+}
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig7", "tab2"
+	Title string
+	Run   func(ctx *Context) (*Result, error)
+}
+
+// Context carries the platforms, benches and virus cache shared by the
+// experiment suite.
+type Context struct {
+	Opts Options
+
+	Juno *platform.Platform
+	AMD  *platform.Platform
+
+	JunoBench *core.Bench
+	AMDBench  *core.Bench
+
+	mu      sync.Mutex
+	viruses map[string]*ga.Result
+}
+
+// NewContext builds the two platforms and their benches.
+func NewContext(opts Options) (*Context, error) {
+	juno, err := platform.JunoR2()
+	if err != nil {
+		return nil, err
+	}
+	amd, err := platform.AMDDesktop()
+	if err != nil {
+		return nil, err
+	}
+	jb, err := core.NewBench(juno, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	ab, err := core.NewBench(amd, opts.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Quick {
+		jb.Samples = 5
+		ab.Samples = 5
+	}
+	return &Context{
+		Opts:      opts,
+		Juno:      juno,
+		AMD:       amd,
+		JunoBench: jb,
+		AMDBench:  ab,
+		viruses:   make(map[string]*ga.Result),
+	}, nil
+}
+
+// gaConfig returns the GA settings at the current scale.
+func (c *Context) gaConfig(d *platform.Domain) ga.Config {
+	cfg := ga.DefaultConfig(d.Spec.Pool())
+	cfg.Seed = c.Opts.Seed + 10
+	if c.Opts.Quick {
+		cfg.PopulationSize = 20
+		cfg.Generations = 15
+	}
+	return cfg
+}
+
+// vminRepeats is the per-virus V_MIN repetition count (paper: 30).
+func (c *Context) vminRepeats() int {
+	if c.Opts.Quick {
+		return 3
+	}
+	return 30
+}
+
+// All returns the experiment inventory in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1b", Title: "PDN impedance profile (Fig. 1b)", Run: runFig1b},
+		{ID: "fig1c", Title: "PDN step response (Fig. 1c)", Run: runFig1c},
+		{ID: "fig2", Title: "Resonant excitation waveforms (Fig. 2)", Run: runFig2},
+		{ID: "fig4", Title: "OC-DSO waveforms: idle vs SPEC vs virus (Fig. 4)", Run: runFig4},
+		{ID: "fig6", Title: "Antenna |S11| response (Fig. 6)", Run: runFig6},
+		{ID: "fig7", Title: "EM-driven GA on Cortex-A72 (Fig. 7)", Run: runFig7},
+		{ID: "fig8", Title: "SCL resonance sweep on Cortex-A72 (Fig. 8)", Run: runFig8},
+		{ID: "fig9", Title: "Spectrum analyzer vs OC-DSO FFT (Fig. 9)", Run: runFig9},
+		{ID: "fig10", Title: "V_MIN and droop on Cortex-A72 (Fig. 10)", Run: runFig10},
+		{ID: "fig11", Title: "Fast EM resonance sweep on Cortex-A72 (Fig. 11)", Run: runFig11},
+		{ID: "fig12", Title: "EM-driven GA on Cortex-A53 (Fig. 12)", Run: runFig12},
+		{ID: "fig13", Title: "Power-gating resonance shifts on Cortex-A53 (Fig. 13)", Run: runFig13},
+		{ID: "fig14", Title: "V_MIN on Cortex-A53 (Fig. 14)", Run: runFig14},
+		{ID: "fig15", Title: "Simultaneous multi-domain monitoring (Fig. 15)", Run: runFig15},
+		{ID: "fig16", Title: "Fast EM resonance sweep on Athlon II (Fig. 16)", Run: runFig16},
+		{ID: "fig17", Title: "EM-driven GA on Athlon II (Fig. 17)", Run: runFig17},
+		{ID: "fig18", Title: "V_MIN and noise on Athlon II (Fig. 18)", Run: runFig18},
+		{ID: "tab1", Title: "Experimental platforms (Table 1)", Run: runTab1},
+		{ID: "tab2", Title: "dI/dt virus comparison (Table 2)", Run: runTab2},
+	}
+}
+
+// ByID finds one experiment, searching the paper set and the extensions.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	for _, e := range Extensions() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the experiment identifiers in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// sortedKeys gives deterministic iteration over a values map.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// extension runs one extension experiment against the shared quick context.
+func extension(t *testing.T, id string) *Result {
+	t.Helper()
+	suite(t) // ensure the shared context (and cached viruses) exist
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(ctx)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+func TestExtensionInventory(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 5 {
+		t.Fatalf("%d extensions, want 5", len(exts))
+	}
+	for _, e := range exts {
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("extension %s incomplete", e.ID)
+		}
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+}
+
+func TestExtGPU(t *testing.T) {
+	res := extension(t, "ext-gpu")
+	all := res.Values["resonance_8sm_hz"]
+	gated := res.Values["resonance_2sm_hz"]
+	if all < 52e6 || all > 72e6 {
+		t.Errorf("GPU resonance %v, want near 56-62 MHz", all)
+	}
+	if gated < all+10e6 {
+		t.Errorf("gating 6 of 8 SMs shifted resonance only %v -> %v", all, gated)
+	}
+	dom := res.Values["virus_dominant_hz"]
+	if dom < 50e6 || dom > 90e6 {
+		t.Errorf("GPU virus dominant %v outside the resonance region", dom)
+	}
+}
+
+func TestExtPredict(t *testing.T) {
+	res := extension(t, "ext-predict")
+	if rmse := res.Values["heldout_rmse_mv"]; rmse > 25 {
+		t.Errorf("held-out droop RMSE %v mV", rmse)
+	}
+	// The virus (far outside the training distribution) is still predicted
+	// within 50%.
+	actual := res.Values["emVirus_actual_mv"]
+	pred := res.Values["emVirus_pred_mv"]
+	if math.Abs(pred-actual) > 0.5*actual {
+		t.Errorf("virus droop predicted %v mV, actual %v mV", pred, actual)
+	}
+}
+
+func TestExtTamper(t *testing.T) {
+	res := extension(t, "ext-tamper")
+	if res.Values["genuine_flagged"] != 0 {
+		t.Error("genuine board flagged as tampered")
+	}
+	if res.Values["tampered_flagged"] != 1 {
+		t.Error("interposer implant not detected")
+	}
+	if res.Values["tamper_shift_hz"] >= 0 {
+		t.Errorf("interposer shift %v, want downward", res.Values["tamper_shift_hz"])
+	}
+}
+
+func TestExtMitigate(t *testing.T) {
+	res := extension(t, "ext-mitigate")
+	b4 := res.Values["budget_4cores_ns"]
+	b1 := res.Values["budget_1cores_ns"]
+	if b4 <= 0 || b1 <= 0 {
+		t.Fatalf("latency budgets %v %v", b4, b1)
+	}
+	if b1 >= b4 {
+		t.Errorf("power-gating did not shrink the latency budget: %v ns -> %v ns", b4, b1)
+	}
+	if res.Values["resonance_1cores_hz"] <= res.Values["resonance_4cores_hz"] {
+		t.Error("resonance did not rise with gating")
+	}
+}
+
+func TestExtSDR(t *testing.T) {
+	res := extension(t, "ext-sdr")
+	if d := res.Values["agreement_hz"]; d > 2e6 {
+		t.Errorf("SDR and analyzer disagree by %v Hz", d)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/instrument"
+	"repro/internal/platform"
+)
+
+// Virus names used across the experiments (Table 2's rows).
+const (
+	VirusA72EM  = "a72em"  // EM-driven GA on the Cortex-A72
+	VirusA72DSO = "a72dso" // OC-DSO droop-driven GA on the Cortex-A72
+	VirusA53EM  = "a53em"  // EM-driven GA on the Cortex-A53
+	VirusAMDEM  = "amdem"  // EM-driven GA on the Athlon II
+	VirusAMDOsc = "amdosc" // Kelvin-pad oscilloscope-driven GA on the Athlon II
+)
+
+// VirusNames lists all virus identifiers in Table 2 order.
+func VirusNames() []string {
+	return []string{VirusA72DSO, VirusA72EM, VirusA53EM, VirusAMDEM, VirusAMDOsc}
+}
+
+// virusSpec describes how a virus is generated.
+type virusSpec struct {
+	bench  func(c *Context) *core.Bench
+	domain string
+	cores  int
+	em     bool // EM-driven; otherwise voltage-driven through the scope
+}
+
+var virusSpecs = map[string]virusSpec{
+	VirusA72EM:  {bench: junoBench, domain: platform.DomainA72, cores: 2, em: true},
+	VirusA72DSO: {bench: junoBench, domain: platform.DomainA72, cores: 2, em: false},
+	VirusA53EM:  {bench: junoBench, domain: platform.DomainA53, cores: 4, em: true},
+	VirusAMDEM:  {bench: amdBench, domain: platform.DomainAthlon, cores: 4, em: true},
+	VirusAMDOsc: {bench: amdBench, domain: platform.DomainAthlon, cores: 4, em: false},
+}
+
+func junoBench(c *Context) *core.Bench { return c.JunoBench }
+func amdBench(c *Context) *core.Bench  { return c.AMDBench }
+
+// VirusDomain returns the domain a virus targets and its active-core count.
+func (c *Context) VirusDomain(name string) (*platform.Domain, int, error) {
+	spec, ok := virusSpecs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("experiments: unknown virus %q", name)
+	}
+	d, err := spec.bench(c).Platform.Domain(spec.domain)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, spec.cores, nil
+}
+
+// Virus generates (or returns the cached) GA result for the named virus.
+func (c *Context) Virus(name string) (*ga.Result, error) {
+	c.mu.Lock()
+	if res, ok := c.viruses[name]; ok {
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.mu.Unlock()
+
+	spec, ok := virusSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown virus %q", name)
+	}
+	b := spec.bench(c)
+	d, err := b.Platform.Domain(spec.domain)
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.gaConfig(d)
+	var m ga.Measurer
+	if spec.em {
+		m = b.EMMeasurer(d, spec.cores)
+	} else {
+		var dso *instrument.DSO
+		switch d.Spec.VoltageVisibility {
+		case "oc-dso":
+			dso = instrument.NewOCDSO(c.Opts.Seed + 20)
+		case "kelvin-pads":
+			dso = instrument.NewBenchScope(c.Opts.Seed + 21)
+		default:
+			return nil, fmt.Errorf("experiments: virus %q needs voltage visibility on %s", name, spec.domain)
+		}
+		m = b.DroopMeasurer(d, spec.cores, dso)
+	}
+	res, err := ga.Run(cfg, m, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating virus %q: %w", name, err)
+	}
+	c.mu.Lock()
+	c.viruses[name] = res
+	c.mu.Unlock()
+	return res, nil
+}

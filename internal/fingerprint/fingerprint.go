@@ -1,0 +1,137 @@
+// Package fingerprint implements the tamper-detection use the paper
+// motivates for its fast resonance sweep (Section 5.3: "post-production
+// purposes like PDN simulation validation, tampering detection etc.").
+//
+// The idea: a board's first-order resonance and the shape of its EM sweep
+// curve form an electrical fingerprint of the die-package-PCB assembly.
+// Physical modifications — an implant drawing power from the rail, removed
+// or added decoupling capacitors, a swapped board revision — change the
+// capacitance or inductance and therefore shift the resonance or deform
+// the curve, without any software-visible trace. Capturing a reference
+// fingerprint at provisioning time and re-sweeping in the field detects
+// such changes with nothing but the antenna.
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Fingerprint is one captured electrical identity of a domain.
+type Fingerprint struct {
+	Domain      string
+	ResonanceHz float64
+	// Curve is the sweep amplitude (dBm) sampled at the loop frequencies
+	// of the sweep, normalized so the maximum is 0 dB.
+	CurveHz []float64
+	CurveDB []float64
+}
+
+// Capture sweeps the domain and records its fingerprint. Fingerprinting is
+// a provisioning-time operation, so the sweep always uses at least the
+// paper's 30-sample averaging regardless of the bench's day-to-day setting:
+// the comparison thresholds assume that noise level.
+func Capture(b *core.Bench, d *platform.Domain, activeCores int) (*Fingerprint, error) {
+	bb := *b
+	if bb.Samples < 30 {
+		bb.Samples = 30
+	}
+	sweep, err := bb.FastResonanceSweep(d, activeCores)
+	if err != nil {
+		return nil, err
+	}
+	fp := &Fingerprint{Domain: d.Spec.Name, ResonanceHz: sweep.ResonanceHz}
+	maxDBm := math.Inf(-1)
+	for _, pt := range sweep.Points {
+		if pt.PeakDBm > maxDBm {
+			maxDBm = pt.PeakDBm
+		}
+	}
+	for _, pt := range sweep.Points {
+		fp.CurveHz = append(fp.CurveHz, pt.LoopHz)
+		fp.CurveDB = append(fp.CurveDB, pt.PeakDBm-maxDBm)
+	}
+	return fp, nil
+}
+
+// Thresholds configures the comparison sensitivity.
+type Thresholds struct {
+	// MaxShiftHz is the allowed resonance drift (aging and temperature
+	// move it a little; tampering moves it a lot).
+	MaxShiftHz float64
+	// MaxCurveRMSDB is the allowed RMS deviation between the normalized
+	// sweep curves.
+	MaxCurveRMSDB float64
+}
+
+// DefaultThresholds returns limits loose enough for benign drift — sweep
+// noise at 30-sample averaging plus a ~40 K temperature swing together move
+// the estimate by up to ~4.5 MHz and tilt the curve ~1.2 dB RMS — and tight
+// enough to catch board rework (an interposer shifts the A72 resonance by
+// ~10 MHz).
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxShiftHz: 5e6, MaxCurveRMSDB: 2.0}
+}
+
+// Report is the outcome of a fingerprint comparison.
+type Report struct {
+	ShiftHz    float64 // current - reference resonance
+	CurveRMSDB float64 // RMS curve deviation at matching loop frequencies
+	Tampered   bool
+	Reason     string
+}
+
+// Compare checks a fresh fingerprint against the reference.
+func Compare(reference, current *Fingerprint, th Thresholds) (*Report, error) {
+	if reference == nil || current == nil {
+		return nil, fmt.Errorf("fingerprint: nil fingerprint")
+	}
+	if reference.Domain != current.Domain {
+		return nil, fmt.Errorf("fingerprint: comparing %s against %s",
+			current.Domain, reference.Domain)
+	}
+	if th.MaxShiftHz <= 0 || th.MaxCurveRMSDB <= 0 {
+		return nil, fmt.Errorf("fingerprint: invalid thresholds %+v", th)
+	}
+	rep := &Report{ShiftHz: current.ResonanceHz - reference.ResonanceHz}
+
+	// Curve deviation: compare at loop frequencies present in both curves
+	// (the clock grid is identical across sweeps of the same domain, but a
+	// shifted resonance changes which points survive band filtering).
+	refAt := make(map[int]float64, len(reference.CurveHz))
+	for i, f := range reference.CurveHz {
+		refAt[int(f/1e3)] = reference.CurveDB[i]
+	}
+	var acc float64
+	n := 0
+	for i, f := range current.CurveHz {
+		ref, ok := refAt[int(f/1e3)]
+		if !ok {
+			continue
+		}
+		dv := current.CurveDB[i] - ref
+		acc += dv * dv
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("fingerprint: no overlapping sweep points")
+	}
+	rep.CurveRMSDB = math.Sqrt(acc / float64(n))
+
+	switch {
+	case math.Abs(rep.ShiftHz) > th.MaxShiftHz:
+		rep.Tampered = true
+		rep.Reason = fmt.Sprintf("resonance shifted %+.2f MHz (limit ±%.2f)",
+			rep.ShiftHz/1e6, th.MaxShiftHz/1e6)
+	case rep.CurveRMSDB > th.MaxCurveRMSDB:
+		rep.Tampered = true
+		rep.Reason = fmt.Sprintf("sweep curve deviates %.2f dB RMS (limit %.2f)",
+			rep.CurveRMSDB, th.MaxCurveRMSDB)
+	default:
+		rep.Reason = "within thresholds"
+	}
+	return rep, nil
+}

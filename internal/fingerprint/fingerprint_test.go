@@ -1,0 +1,189 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// tamperedJuno builds a Juno with an interposer between package and board —
+// the classic hardware-implant scenario. The shim adds series inductance to
+// the power path, which drags the first-order resonance down.
+func tamperedJuno(t *testing.T) *platform.Platform {
+	t.Helper()
+	ref, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a72 := ref.Domains()[0].Spec
+	a53 := ref.Domains()[1].Spec
+	a72.PDN.LPkg *= 1.35
+	p, err := platform.NewPlatform("juno-r2-tampered", ref.Antenna, a72, a53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bench(t *testing.T, p *platform.Platform, seed int64) *core.Bench {
+	t.Helper()
+	b, err := core.NewBench(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Samples = 5
+	return b
+}
+
+func TestGenuineBoardPasses(t *testing.T) {
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference at provisioning, re-check in the field (different noise).
+	ref, err := Capture(bench(t, p, 1), d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Capture(bench(t, p, 99), d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(ref, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tampered {
+		t.Fatalf("genuine board flagged: %+v", rep)
+	}
+	if math.Abs(rep.ShiftHz) > 4e6 {
+		t.Fatalf("benign re-sweep shifted %v Hz", rep.ShiftHz)
+	}
+}
+
+func TestTamperedBoardCaught(t *testing.T) {
+	genuine, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef, err := genuine.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Capture(bench(t, genuine, 1), dRef, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := tamperedJuno(t)
+	dCur, err := tampered.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Capture(bench(t, tampered, 2), dCur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(ref, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tampered {
+		t.Fatalf("tampered board passed: %+v", rep)
+	}
+	// Added series inductance -> resonance moved down.
+	if rep.ShiftHz >= 0 {
+		t.Fatalf("expected downward shift, got %v", rep.ShiftHz)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	fp := &Fingerprint{Domain: "x", CurveHz: []float64{1e6}, CurveDB: []float64{0}}
+	other := &Fingerprint{Domain: "y", CurveHz: []float64{1e6}, CurveDB: []float64{0}}
+	if _, err := Compare(nil, fp, DefaultThresholds()); err == nil {
+		t.Error("nil reference accepted")
+	}
+	if _, err := Compare(fp, other, DefaultThresholds()); err == nil {
+		t.Error("cross-domain comparison accepted")
+	}
+	if _, err := Compare(fp, fp, Thresholds{}); err == nil {
+		t.Error("zero thresholds accepted")
+	}
+	disjoint := &Fingerprint{Domain: "x", CurveHz: []float64{9e6}, CurveDB: []float64{0}}
+	if _, err := Compare(fp, disjoint, DefaultThresholds()); err == nil {
+		t.Error("disjoint curves accepted")
+	}
+}
+
+func TestCurveDeviationDetection(t *testing.T) {
+	// Same resonance but a deformed curve must also trip the check.
+	ref := &Fingerprint{
+		Domain:      "x",
+		ResonanceHz: 70e6,
+		CurveHz:     []float64{60e6, 65e6, 70e6, 75e6},
+		CurveDB:     []float64{-6, -2, 0, -3},
+	}
+	cur := &Fingerprint{
+		Domain:      "x",
+		ResonanceHz: 70.5e6,
+		CurveHz:     []float64{60e6, 65e6, 70e6, 75e6},
+		CurveDB:     []float64{-1, -8, 0, -9},
+	}
+	rep, err := Compare(ref, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tampered || rep.CurveRMSDB < 1.5 {
+		t.Fatalf("curve deformation missed: %+v", rep)
+	}
+}
+
+// A hot board is not a tampered board: the fingerprint must tolerate the
+// resistance/capacitance drift of a 40 K temperature rise.
+func TestTemperatureDriftPasses(t *testing.T) {
+	cold, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCold, err := cold.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Capture(bench(t, cold, 1), dCold, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a72 := base.Domains()[0].Spec
+	a53 := base.Domains()[1].Spec
+	a72.PDN = a72.PDN.AtTemperature(40)
+	hot, err := platform.NewPlatform("juno-hot", base.Antenna, a72, a53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHot, err := hot.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Capture(bench(t, hot, 3), dHot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(ref, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tampered {
+		t.Fatalf("hot board flagged as tampered: %+v", rep)
+	}
+}

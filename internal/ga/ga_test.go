@@ -1,0 +1,278 @@
+package ga
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// countSIMD scores an individual by its SIMD fraction — an easy synthetic
+// objective the GA must maximize.
+func countSIMD(seq []isa.Inst) (float64, float64, error) {
+	n := 0.0
+	for _, in := range seq {
+		if in.Def.Class == isa.SIMD {
+			n++
+		}
+	}
+	return n / float64(len(seq)), 42e6, nil
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig(isa.ARM64Pool())
+	cfg.PopulationSize = 20
+	cfg.Generations = 25
+	cfg.SeqLen = 30
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(isa.ARM64Pool()).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Pool = nil },
+		func(c *Config) { c.PopulationSize = 1 },
+		func(c *Config) { c.Generations = 0 },
+		func(c *Config) { c.SeqLen = 0 },
+		func(c *Config) { c.MutationRate = -0.1 },
+		func(c *Config) { c.MutationRate = 1.5 },
+		func(c *Config) { c.TournamentSize = 0 },
+		func(c *Config) { c.TournamentSize = 1000 },
+		func(c *Config) { c.Elites = -1 },
+		func(c *Config) { c.Elites = 50 },
+		func(c *Config) { c.InitialPopulation = make([][]isa.Inst, 100) },
+		func(c *Config) { c.InitialPopulation = [][]isa.Inst{make([]isa.Inst, 3)} },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig(isa.ARM64Pool())
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsNilMeasurer(t *testing.T) {
+	if _, err := Run(testConfig(), nil, nil); err == nil {
+		t.Fatal("nil measurer accepted")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.PopulationSize = 0
+	if _, err := Run(cfg, MeasurerFunc(countSIMD), nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunPropagatesMeasureError(t *testing.T) {
+	boom := errors.New("instrument offline")
+	m := MeasurerFunc(func([]isa.Inst) (float64, float64, error) { return 0, 0, boom })
+	if _, err := Run(testConfig(), m, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped instrument error", err)
+	}
+}
+
+func TestGAOptimizesSyntheticObjective(t *testing.T) {
+	res, err := Run(testConfig(), MeasurerFunc(countSIMD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0].BestFitness
+	last := res.History[len(res.History)-1].BestFitness
+	if last <= first {
+		t.Fatalf("GA did not improve: %v -> %v", first, last)
+	}
+	if res.Best.Fitness < 0.7 {
+		t.Fatalf("GA plateaued at %v SIMD fraction, want > 0.7", res.Best.Fitness)
+	}
+	if res.Best.DominantHz != 42e6 {
+		t.Fatalf("dominant frequency not recorded: %v", res.Best.DominantHz)
+	}
+}
+
+func TestHistoryShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.Generations = 7
+	res, err := Run(cfg, MeasurerFunc(countSIMD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 7 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+	for i, g := range res.History {
+		if g.Gen != i {
+			t.Fatalf("generation %d numbered %d", i, g.Gen)
+		}
+		if g.MeanFitness > g.BestFitness {
+			t.Fatalf("gen %d mean %v > best %v", i, g.MeanFitness, g.BestFitness)
+		}
+		if len(g.Best.Seq) != cfg.SeqLen {
+			t.Fatalf("gen %d best has %d instructions", i, len(g.Best.Seq))
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := testConfig()
+	cfg.Generations = 5
+	var calls int
+	_, err := Run(cfg, MeasurerFunc(countSIMD), func(GenerationStats) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("progress called %d times", calls)
+	}
+}
+
+func TestBestNeverRegressesWithElitism(t *testing.T) {
+	// With a deterministic measurer and elitism, the per-generation best
+	// fitness must be monotone non-decreasing.
+	cfg := testConfig()
+	cfg.Elites = 2
+	res, err := Run(cfg, MeasurerFunc(countSIMD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].BestFitness < res.History[i-1].BestFitness-1e-12 {
+			t.Fatalf("best regressed at generation %d: %v -> %v",
+				i, res.History[i-1].BestFitness, res.History[i].BestFitness)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := testConfig() // shared pool: Def pointers must match across runs
+	run := func() *Result {
+		res, err := Run(cfg, MeasurerFunc(countSIMD), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Best.Fitness != b.Best.Fitness {
+		t.Fatalf("same seed gave different best fitness: %v vs %v", a.Best.Fitness, b.Best.Fitness)
+	}
+	for i := range a.History {
+		if a.History[i].BestFitness != b.History[i].BestFitness {
+			t.Fatalf("histories diverge at generation %d", i)
+		}
+	}
+	for i := range a.Best.Seq {
+		if a.Best.Seq[i] != b.Best.Seq[i] {
+			t.Fatalf("best sequences differ at %d", i)
+		}
+	}
+}
+
+func TestInitialPopulationSeedsRun(t *testing.T) {
+	pool := isa.ARM64Pool()
+	vmul, _ := pool.DefByMnemonic("vmul")
+	perfect := make([]isa.Inst, 30)
+	for i := range perfect {
+		perfect[i] = isa.Inst{Def: vmul}
+	}
+	cfg := testConfig()
+	cfg.Generations = 1
+	cfg.InitialPopulation = [][]isa.Inst{perfect}
+	res, err := Run(cfg, MeasurerFunc(countSIMD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness != 1.0 {
+		t.Fatalf("seeded individual lost: best fitness %v", res.Best.Fitness)
+	}
+}
+
+// Property: crossover children take every gene from one of the parents.
+func TestCrossoverGenesComeFromParents(t *testing.T) {
+	pool := isa.ARM64Pool()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := pool.RandomSequence(rng, n)
+		b := pool.RandomSequence(rng, n)
+		child := crossover(rng, a, b)
+		if len(child) != n {
+			return false
+		}
+		for i := range child {
+			if child[i] != a[i] && child[i] != b[i] {
+				return false
+			}
+		}
+		// One-point: prefix from a, suffix from b.
+		boundary := 0
+		for boundary < n && child[boundary] == a[boundary] {
+			boundary++
+		}
+		for i := boundary; i < n; i++ {
+			if child[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutation at rate 0 is the identity; at rate 1 sequences stay
+// valid (definitions from the pool, operands in range).
+func TestMutationRateProperty(t *testing.T) {
+	pool := isa.ARM64Pool()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := pool.RandomSequence(rng, 20)
+		orig := make([]isa.Inst, len(seq))
+		copy(orig, seq)
+
+		cfg := DefaultConfig(pool)
+		cfg.MutationRate = 0
+		mutate(cfg, rng, seq)
+		for i := range seq {
+			if seq[i] != orig[i] {
+				return false
+			}
+		}
+		cfg.MutationRate = 1
+		mutate(cfg, rng, seq)
+		for _, in := range seq {
+			if in.Def == nil {
+				return false
+			}
+			if _, ok := pool.DefByMnemonic(in.Def.Mnemonic); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElites(t *testing.T) {
+	pop := []Individual{
+		{Fitness: 1}, {Fitness: 5}, {Fitness: 3}, {Fitness: 4},
+	}
+	top := elites(pop, 2)
+	if len(top) != 2 || top[0].Fitness != 5 || top[1].Fitness != 4 {
+		t.Fatalf("elites = %+v", top)
+	}
+	if elites(pop, 0) != nil {
+		t.Fatal("elites(0) not nil")
+	}
+}

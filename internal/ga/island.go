@@ -1,0 +1,157 @@
+package ga
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// IslandConfig runs several semi-isolated populations ("islands") that
+// periodically exchange their best individuals around a ring. Island models
+// resist premature convergence: each island explores its own niche of the
+// instruction space and migration spreads only proven genes. The paper
+// seeds GA runs from previous populations (Section 3.1); islands generalize
+// that into a standing topology.
+type IslandConfig struct {
+	// Base is the per-island GA configuration; Base.Generations is the
+	// total generation budget per island across all epochs.
+	Base Config
+	// Islands is the number of populations (>= 2).
+	Islands int
+	// MigrationInterval is how many generations each island evolves
+	// between migrations.
+	MigrationInterval int
+	// Migrants is how many top individuals each island sends to its ring
+	// neighbour per migration.
+	Migrants int
+}
+
+// Validate reports the first problem with the configuration.
+func (c IslandConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Islands < 2:
+		return fmt.Errorf("ga: island model needs >= 2 islands, got %d", c.Islands)
+	case c.MigrationInterval < 1:
+		return fmt.Errorf("ga: migration interval %d", c.MigrationInterval)
+	case c.Migrants < 1 || c.Migrants >= c.Base.PopulationSize:
+		return fmt.Errorf("ga: %d migrants with population %d", c.Migrants, c.Base.PopulationSize)
+	case c.Base.Generations < c.MigrationInterval:
+		return fmt.Errorf("ga: generation budget %d below one migration interval %d",
+			c.Base.Generations, c.MigrationInterval)
+	}
+	return nil
+}
+
+// IslandStats reports one island's progress for one epoch.
+type IslandStats struct {
+	Island int
+	GenerationStats
+}
+
+// RunIslands evolves the islands in round-robin epochs with ring migration
+// and returns the globally best individual plus the winning island's
+// history.
+func RunIslands(cfg IslandConfig, m Measurer, progress func(IslandStats)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("ga: nil measurer")
+	}
+	epochs := cfg.Base.Generations / cfg.MigrationInterval
+
+	pops := make([][]Individual, cfg.Islands)
+	histories := make([][]GenerationStats, cfg.Islands)
+	genOffset := 0
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		for i := 0; i < cfg.Islands; i++ {
+			sub := cfg.Base
+			sub.Generations = cfg.MigrationInterval
+			// Decorrelate the islands' random streams per epoch.
+			sub.Seed = cfg.Base.Seed + int64(epoch*cfg.Islands+i+1)*7919
+			if pops[i] != nil {
+				sub.InitialPopulation = seqsOf(pops[i], sub.SeqLen)
+			}
+			res, err := Run(sub, m, nil)
+			if err != nil {
+				return nil, fmt.Errorf("ga: island %d epoch %d: %w", i, epoch, err)
+			}
+			pops[i] = res.FinalPopulation
+			for _, g := range res.History {
+				g.Gen += genOffset
+				histories[i] = append(histories[i], g)
+				if progress != nil {
+					progress(IslandStats{Island: i, GenerationStats: g})
+				}
+			}
+		}
+		genOffset += cfg.MigrationInterval
+		if epoch < epochs-1 {
+			migrate(pops, cfg.Migrants)
+		}
+	}
+
+	// Pick the best across islands.
+	bestIsland, best := 0, Individual{}
+	for i, pop := range pops {
+		for _, ind := range pop {
+			if best.Seq == nil || ind.Fitness > best.Fitness {
+				best = ind.clone()
+				bestIsland = i
+			}
+		}
+	}
+	return &Result{
+		Best:            best,
+		History:         histories[bestIsland],
+		FinalPopulation: pops[bestIsland],
+	}, nil
+}
+
+// seqsOf extracts the instruction sequences of a population, truncating or
+// skipping individuals that do not match the expected length.
+func seqsOf(pop []Individual, seqLen int) [][]isa.Inst {
+	out := make([][]isa.Inst, 0, len(pop))
+	for _, ind := range pop {
+		if len(ind.Seq) == seqLen {
+			out = append(out, ind.Seq)
+		}
+	}
+	return out
+}
+
+// migrate sends each island's top Migrants to the next island in the ring,
+// replacing that island's worst individuals.
+func migrate(pops [][]Individual, migrants int) {
+	n := len(pops)
+	// Collect emigrants first so a chain of migrations in one round does
+	// not relay an individual across multiple islands.
+	emigrants := make([][]Individual, n)
+	for i, pop := range pops {
+		sorted := make([]Individual, len(pop))
+		copy(sorted, pop)
+		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Fitness > sorted[b].Fitness })
+		k := migrants
+		if k > len(sorted) {
+			k = len(sorted)
+		}
+		emigrants[i] = make([]Individual, 0, k)
+		for _, e := range sorted[:k] {
+			emigrants[i] = append(emigrants[i], e.clone())
+		}
+	}
+	for i := range pops {
+		dst := (i + 1) % n
+		pop := pops[dst]
+		// Replace the worst of dst with i's emigrants.
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+		for j, e := range emigrants[i] {
+			pop[len(pop)-1-j] = e
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/pdn"
+)
+
+// SCL models the Juno's synthetic current load block: a configurable
+// square-wave current sink on the Cortex-A72 rail, used in the paper
+// (Figure 8) to locate the PDN resonance by sweeping the stimulus frequency
+// and recording the peak-to-peak rail swing with the OC-DSO.
+type SCL struct {
+	// AmpA is the square-wave amplitude in amps (switching between 0 and
+	// AmpA at 50% duty).
+	AmpA float64
+	// Harmonics bounds the Fourier synthesis of the stimulus.
+	Harmonics int
+	// SamplesPerPeriod sets the time resolution of the synthesized
+	// response.
+	SamplesPerPeriod int
+}
+
+// NewSCL returns the default synthetic-current-load configuration.
+func NewSCL(ampA float64) *SCL {
+	return &SCL{AmpA: ampA, Harmonics: 63, SamplesPerPeriod: 256}
+}
+
+// Validate reports the first problem with the configuration.
+func (s *SCL) Validate() error {
+	if s.AmpA <= 0 || s.Harmonics < 1 || s.SamplesPerPeriod < 8 {
+		return fmt.Errorf("instrument: invalid SCL config %+v", s)
+	}
+	return nil
+}
+
+// SweepPoint is one frequency step of an SCL sweep.
+type SweepPoint struct {
+	Freq float64 // stimulus frequency, Hz
+	PtpV float64 // peak-to-peak rail voltage as captured by the DSO
+}
+
+// Excite drives the PDN model with the square wave at frequency f and
+// returns the steady-state response over one period.
+func (s *SCL) Excite(m *pdn.Model, f float64) (*pdn.Response, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	coeffs := pdn.SquareWaveCoeffs(s.AmpA, s.Harmonics)
+	return m.HarmonicResponse(f, coeffs, s.SamplesPerPeriod)
+}
+
+// Sweep steps the stimulus from fLo to fHi and records the peak-to-peak
+// voltage at each step through the given scope (paper Figure 8: 1 MHz
+// steps around the resonance).
+func (s *SCL) Sweep(m *pdn.Model, dso *DSO, fLo, fHi, stepHz float64) ([]SweepPoint, error) {
+	if fLo <= 0 || fHi <= fLo || stepHz <= 0 {
+		return nil, fmt.Errorf("instrument: invalid SCL sweep [%v, %v] step %v", fLo, fHi, stepHz)
+	}
+	var out []SweepPoint
+	for f := fLo; f <= fHi+stepHz/2; f += stepHz {
+		resp, err := s.Excite(m, f)
+		if err != nil {
+			return nil, err
+		}
+		trace, err := dso.Capture(tile(resp, 8))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Freq: f, PtpV: trace.PeakToPeak()})
+	}
+	return out, nil
+}
+
+// tile repeats a one-period response k times so scopes with coarser sample
+// clocks see enough cycles to catch the extrema.
+func tile(resp *pdn.Response, k int) *pdn.Response {
+	n := len(resp.VDie)
+	out := &pdn.Response{Dt: resp.Dt, VDie: make([]float64, n*k), IDie: make([]float64, n*k)}
+	for i := 0; i < k; i++ {
+		copy(out.VDie[i*n:], resp.VDie)
+		copy(out.IDie[i*n:], resp.IDie)
+	}
+	return out
+}
+
+// PeakOfSweep returns the sweep point with the largest swing.
+func PeakOfSweep(points []SweepPoint) (SweepPoint, error) {
+	if len(points) == 0 {
+		return SweepPoint{}, fmt.Errorf("instrument: empty sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.PtpV > best.PtpV {
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,178 @@
+// Package instrument simulates the measurement equipment of the paper's
+// Section 4: spectrum analyzers (Agilent E4402B / N9342C class) fed by the
+// loop antenna, the Juno's on-chip digital storage oscilloscope (OC-DSO),
+// a bench oscilloscope with differential probes on the AMD Kelvin pads,
+// and the synthetic current load (SCL) block.
+//
+// Instruments are intentionally imperfect: they re-bin onto their
+// resolution bandwidth, add a noise floor and per-sweep measurement noise,
+// band-limit, and quantize — so measurement-driven loops (the GA) face the
+// same jitter the real methodology does, and the paper's 30-sample
+// averaging is actually necessary.
+package instrument
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dsp"
+)
+
+// SpectrumAnalyzer models a swept-tuned analyzer.
+type SpectrumAnalyzer struct {
+	Model         string
+	StartHz       float64
+	StopHz        float64
+	RBWHz         float64 // resolution bandwidth: power integrates per RBW bin
+	NoiseFloorDBm float64
+	NoiseSigmaDB  float64 // per-bin Gaussian measurement noise, in dB
+
+	mu  sync.Mutex // protects rng: one physical analyzer, many clients
+	rng *rand.Rand
+}
+
+// NewSpectrumAnalyzer returns an analyzer spanning [startHz, stopHz] with
+// the given resolution bandwidth. The seed fixes the measurement-noise
+// stream so experiments are reproducible.
+func NewSpectrumAnalyzer(model string, startHz, stopHz, rbwHz float64, seed int64) (*SpectrumAnalyzer, error) {
+	if startHz < 0 || stopHz <= startHz || rbwHz <= 0 {
+		return nil, fmt.Errorf("instrument: invalid span [%v, %v] rbw %v", startHz, stopHz, rbwHz)
+	}
+	return &SpectrumAnalyzer{
+		Model:         model,
+		StartHz:       startHz,
+		StopHz:        stopHz,
+		RBWHz:         rbwHz,
+		NoiseFloorDBm: -90,
+		NoiseSigmaDB:  0.8,
+		rng:           rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Sweep is one analyzer trace.
+type Sweep struct {
+	Freqs []float64 // RBW bin centres, Hz
+	DBm   []float64 // measured power per bin
+}
+
+// Peak returns the marker peak of the sweep.
+func (s *Sweep) Peak() (freq, dbm float64) {
+	if len(s.DBm) == 0 {
+		return 0, math.Inf(-1)
+	}
+	best := 0
+	for i, v := range s.DBm {
+		if v > s.DBm[best] {
+			best = i
+		}
+	}
+	return s.Freqs[best], s.DBm[best]
+}
+
+// PeakInBand returns the strongest bin within [lo, hi].
+func (s *Sweep) PeakInBand(lo, hi float64) (freq, dbm float64, ok bool) {
+	dbm = math.Inf(-1)
+	for i, f := range s.Freqs {
+		if f < lo || f > hi {
+			continue
+		}
+		if s.DBm[i] > dbm {
+			freq, dbm, ok = f, s.DBm[i], true
+		}
+	}
+	return freq, dbm, ok
+}
+
+// Capture performs one sweep over an incident power spectrum (freqs in Hz,
+// powers in watts, e.g. from em.CombinedSpectrum): incident power is summed
+// into RBW bins, the noise floor is added, and per-bin measurement noise is
+// applied.
+func (sa *SpectrumAnalyzer) Capture(freqs, watts []float64) (*Sweep, error) {
+	if len(freqs) != len(watts) {
+		return nil, fmt.Errorf("instrument: spectrum length mismatch %d vs %d", len(freqs), len(watts))
+	}
+	nBins := int(math.Ceil((sa.StopHz - sa.StartHz) / sa.RBWHz))
+	if nBins < 1 {
+		nBins = 1
+	}
+	sweep := &Sweep{Freqs: make([]float64, nBins), DBm: make([]float64, nBins)}
+	acc := make([]float64, nBins)
+	for i, f := range freqs {
+		if f < sa.StartHz || f >= sa.StopHz {
+			continue
+		}
+		bin := int((f - sa.StartHz) / sa.RBWHz)
+		if bin >= 0 && bin < nBins {
+			acc[bin] += watts[i]
+		}
+	}
+	floor := dsp.FromDBm(sa.NoiseFloorDBm)
+	sa.mu.Lock()
+	for b := 0; b < nBins; b++ {
+		sweep.Freqs[b] = sa.StartHz + (float64(b)+0.5)*sa.RBWHz
+		p := acc[b] + floor*(0.5+sa.rng.Float64())
+		sweep.DBm[b] = dsp.DBm(p) + sa.rng.NormFloat64()*sa.NoiseSigmaDB
+	}
+	sa.mu.Unlock()
+	return sweep, nil
+}
+
+// Measurement is the paper's GA fitness observable: the peak amplitude in a
+// band, averaged over repeated sweeps ("the metric used for maximum EM
+// amplitude is the mean root square of 30 samples", Section 3.1).
+type Measurement struct {
+	PeakDBm  float64 // RMS-averaged peak power
+	PeakHz   float64 // dominant frequency (mode of the per-sweep peaks)
+	Samples  int
+	StdevDBm float64
+}
+
+// MeasurePeak takes samples sweeps over the incident spectrum and returns
+// the averaged in-band peak. The dominant frequency is the most frequent
+// per-sweep peak bin, which rejects occasional noise-floor wins.
+func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, samples int) (*Measurement, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("instrument: need at least 1 sample, got %d", samples)
+	}
+	peaks := make([]float64, 0, samples)
+	freqVotes := make(map[float64]int)
+	for s := 0; s < samples; s++ {
+		sweep, err := sa.Capture(freqs, watts)
+		if err != nil {
+			return nil, err
+		}
+		f, dbm, ok := sweep.PeakInBand(lo, hi)
+		if !ok {
+			return nil, fmt.Errorf("instrument: band [%v, %v] outside analyzer span", lo, hi)
+		}
+		peaks = append(peaks, dbm)
+		freqVotes[f]++
+	}
+	// RMS in linear power terms, reported in dBm.
+	var sum float64
+	for _, dbm := range peaks {
+		w := dsp.FromDBm(dbm)
+		sum += w * w
+	}
+	rms := math.Sqrt(sum / float64(samples))
+	mean := dsp.Mean(peaks)
+	var varAcc float64
+	for _, dbm := range peaks {
+		varAcc += (dbm - mean) * (dbm - mean)
+	}
+	var domFreq float64
+	best := -1
+	for f, n := range freqVotes {
+		if n > best || (n == best && f < domFreq) {
+			domFreq, best = f, n
+		}
+	}
+	return &Measurement{
+		PeakDBm:  dsp.DBm(rms),
+		PeakHz:   domFreq,
+		Samples:  samples,
+		StdevDBm: math.Sqrt(varAcc / float64(samples)),
+	}, nil
+}

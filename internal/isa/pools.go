@@ -1,0 +1,94 @@
+package isa
+
+// The built-in pools encode the Section 3.3 instruction mixes. Latencies
+// are representative of the modelled cores (single-cycle simple integer
+// ops, 3-5 cycle multiplies and FP, 10+ cycle unpipelined divides and
+// square roots, L1-hit loads of a few cycles). Charges are calibrated so
+// that wide SIMD and memory operations draw the most switching current and
+// stalled divide cycles the least, giving the GA genuine high- and
+// low-current phases to compose (Section 8.3).
+
+// ARM64Pool returns the ARMv8-like pool used for the Cortex-A72/A53 runs:
+// short/long integer, FP, SIMD, loads/stores and dummy unconditional
+// branches (pointing to the next instruction, per Section 3.3).
+func ARM64Pool() *Pool {
+	defs := []Def{
+		{Mnemonic: "mov", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.10e-9, RegFile: RegInt, NSrc: 1},
+		{Mnemonic: "add", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.12e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "sub", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.12e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "eor", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.11e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "and", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.10e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "orr", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.10e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "lsl", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.11e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "mul", Class: IntLong, Unit: UnitMulDiv, Latency: 3, Block: 1, Charge: 0.25e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "madd", Class: IntLong, Unit: UnitMulDiv, Latency: 3, Block: 1, Charge: 0.28e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "sdiv", Class: IntLong, Unit: UnitMulDiv, Latency: 6, Block: 6, Charge: 0.04e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "fadd", Class: Float, Unit: UnitFP, Latency: 3, Block: 1, Charge: 0.28e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "fsub", Class: Float, Unit: UnitFP, Latency: 3, Block: 1, Charge: 0.28e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "fmul", Class: Float, Unit: UnitFP, Latency: 3, Block: 1, Charge: 0.32e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "fmadd", Class: Float, Unit: UnitFP, Latency: 4, Block: 1, Charge: 0.38e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "fdiv", Class: Float, Unit: UnitFP, Latency: 10, Block: 10, Charge: 0.05e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "fsqrt", Class: Float, Unit: UnitFP, Latency: 12, Block: 12, Charge: 0.05e-9, RegFile: RegVec, NSrc: 1},
+		{Mnemonic: "vadd", Class: SIMD, Unit: UnitSIMD, Latency: 2, Block: 1, Charge: 0.45e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "vmul", Class: SIMD, Unit: UnitSIMD, Latency: 4, Block: 1, Charge: 0.55e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "vfma", Class: SIMD, Unit: UnitSIMD, Latency: 4, Block: 1, Charge: 0.60e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "vsub", Class: SIMD, Unit: UnitSIMD, Latency: 2, Block: 1, Charge: 0.45e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "veor", Class: SIMD, Unit: UnitSIMD, Latency: 1, Block: 1, Charge: 0.40e-9, RegFile: RegVec, NSrc: 2},
+		{Mnemonic: "ldr", Class: Mem, Unit: UnitLS, Latency: 3, Block: 1, Charge: 0.30e-9, RegFile: RegInt, NSrc: 0, Mem: MemLoad},
+		{Mnemonic: "str", Class: Mem, Unit: UnitLS, Latency: 1, Block: 1, Charge: 0.26e-9, RegFile: RegInt, NSrc: 1, Mem: MemStore, NoDest: true},
+		{Mnemonic: "b", Class: Branch, Unit: UnitBranch, Latency: 1, Block: 1, Charge: 0.06e-9, RegFile: RegInt, NSrc: 0, NoDest: true},
+	}
+	p, err := NewPool(ARM64, defs, 16, 16, 8)
+	if err != nil {
+		panic("isa: built-in ARM64 pool invalid: " + err.Error())
+	}
+	return p
+}
+
+// X86Pool returns the x86-64/SSE2-like pool used for the Athlon II runs.
+// Following Section 3.3, there are no explicit load/store instructions;
+// memory traffic comes from integer ops with memory operands and from mov
+// to/from memory. SIMD uses SSE2-style packed ops.
+func X86Pool() *Pool {
+	defs := []Def{
+		{Mnemonic: "mov", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.11e-9, RegFile: RegInt, NSrc: 1},
+		{Mnemonic: "add", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.13e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "sub", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.13e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "xor", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.12e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "and", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.11e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "or", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.11e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "shl", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.12e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "imul", Class: IntLong, Unit: UnitMulDiv, Latency: 3, Block: 1, Charge: 0.30e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "idiv", Class: IntLong, Unit: UnitMulDiv, Latency: 20, Block: 20, Charge: 0.04e-9, RegFile: RegInt, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "addmem", Class: IntShortMem, Unit: UnitALU, Latency: 4, Block: 1, Charge: 0.35e-9, RegFile: RegInt, NSrc: 0, DestIsSrc: true, Mem: MemRead},
+		{Mnemonic: "submem", Class: IntShortMem, Unit: UnitALU, Latency: 4, Block: 1, Charge: 0.35e-9, RegFile: RegInt, NSrc: 0, DestIsSrc: true, Mem: MemRead},
+		{Mnemonic: "imulmem", Class: IntLongMem, Unit: UnitMulDiv, Latency: 6, Block: 1, Charge: 0.42e-9, RegFile: RegInt, NSrc: 0, DestIsSrc: true, Mem: MemRead},
+		{Mnemonic: "movload", Class: IntShortMem, Unit: UnitLS, Latency: 3, Block: 1, Charge: 0.32e-9, RegFile: RegInt, NSrc: 0, Mem: MemLoad},
+		{Mnemonic: "movstore", Class: IntShortMem, Unit: UnitLS, Latency: 1, Block: 1, Charge: 0.28e-9, RegFile: RegInt, NSrc: 1, Mem: MemStore, NoDest: true},
+		{Mnemonic: "addsd", Class: Float, Unit: UnitFP, Latency: 3, Block: 1, Charge: 0.30e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "mulsd", Class: Float, Unit: UnitFP, Latency: 4, Block: 1, Charge: 0.34e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "divsd", Class: Float, Unit: UnitFP, Latency: 17, Block: 17, Charge: 0.05e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "sqrtsd", Class: Float, Unit: UnitFP, Latency: 19, Block: 19, Charge: 0.05e-9, RegFile: RegVec, NSrc: 1},
+		{Mnemonic: "paddd", Class: SIMD, Unit: UnitSIMD, Latency: 2, Block: 1, Charge: 0.48e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "addps", Class: SIMD, Unit: UnitSIMD, Latency: 3, Block: 1, Charge: 0.52e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "mulps", Class: SIMD, Unit: UnitSIMD, Latency: 4, Block: 1, Charge: 0.60e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "subps", Class: SIMD, Unit: UnitSIMD, Latency: 3, Block: 1, Charge: 0.52e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "pxor", Class: SIMD, Unit: UnitSIMD, Latency: 1, Block: 1, Charge: 0.42e-9, RegFile: RegVec, NSrc: 1, DestIsSrc: true},
+		{Mnemonic: "sqrtps", Class: SIMD, Unit: UnitSIMD, Latency: 18, Block: 18, Charge: 0.06e-9, RegFile: RegVec, NSrc: 1},
+	}
+	p, err := NewPool(X86, defs, 14, 16, 8)
+	if err != nil {
+		panic("isa: built-in x86 pool invalid: " + err.Error())
+	}
+	return p
+}
+
+// PoolFor returns the built-in pool for an architecture.
+func PoolFor(arch Arch) *Pool {
+	switch arch {
+	case X86:
+		return X86Pool()
+	default:
+		return ARM64Pool()
+	}
+}

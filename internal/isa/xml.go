@@ -1,0 +1,139 @@
+package isa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// The XML instruction-pool format mirrors the user input file of the
+// paper's GA framework (Section 3.2): the user lists the instructions the
+// GA may use, the registers each instruction may touch, and the memory
+// slots available to memory instructions.
+//
+//	<pool arch="arm64" int-regs="16" vec-regs="16" mem-slots="8">
+//	  <instruction mnemonic="add" class="int-short" unit="alu"
+//	               latency="1" block="1" charge="1.2e-10"
+//	               regfile="int" nsrc="2"/>
+//	  ...
+//	</pool>
+
+type xmlPool struct {
+	XMLName  xml.Name  `xml:"pool"`
+	Arch     string    `xml:"arch,attr"`
+	IntRegs  int       `xml:"int-regs,attr"`
+	VecRegs  int       `xml:"vec-regs,attr"`
+	MemSlots int       `xml:"mem-slots,attr"`
+	Insts    []xmlInst `xml:"instruction"`
+}
+
+type xmlInst struct {
+	Mnemonic  string  `xml:"mnemonic,attr"`
+	Class     string  `xml:"class,attr"`
+	Unit      string  `xml:"unit,attr"`
+	Latency   int     `xml:"latency,attr"`
+	Block     int     `xml:"block,attr"`
+	Charge    float64 `xml:"charge,attr"`
+	RegFile   string  `xml:"regfile,attr"`
+	NSrc      int     `xml:"nsrc,attr"`
+	DestIsSrc bool    `xml:"dest-is-src,attr"`
+	Mem       string  `xml:"mem,attr"`
+	NoDest    bool    `xml:"no-dest,attr"`
+}
+
+var memModeNames = map[MemMode]string{
+	MemNone:  "none",
+	MemLoad:  "load",
+	MemStore: "store",
+	MemRead:  "read-operand",
+}
+
+func parseMemMode(s string) (MemMode, error) {
+	if s == "" {
+		return MemNone, nil
+	}
+	for m, name := range memModeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown memory mode %q", s)
+}
+
+// LoadPoolXML parses a pool description from r.
+func LoadPoolXML(r io.Reader) (*Pool, error) {
+	var xp xmlPool
+	if err := xml.NewDecoder(r).Decode(&xp); err != nil {
+		return nil, fmt.Errorf("isa: parsing pool XML: %w", err)
+	}
+	arch, err := ParseArch(xp.Arch)
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]Def, 0, len(xp.Insts))
+	for _, xi := range xp.Insts {
+		class, err := ParseClass(xi.Class)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %q: %w", xi.Mnemonic, err)
+		}
+		unit, err := ParseUnit(xi.Unit)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %q: %w", xi.Mnemonic, err)
+		}
+		mem, err := parseMemMode(xi.Mem)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %q: %w", xi.Mnemonic, err)
+		}
+		var rf RegFile
+		switch xi.RegFile {
+		case "int", "":
+			rf = RegInt
+		case "vec":
+			rf = RegVec
+		default:
+			return nil, fmt.Errorf("isa: instruction %q: unknown register file %q", xi.Mnemonic, xi.RegFile)
+		}
+		block := xi.Block
+		if block == 0 {
+			block = 1
+		}
+		defs = append(defs, Def{
+			Mnemonic: xi.Mnemonic, Class: class, Unit: unit,
+			Latency: xi.Latency, Block: block, Charge: xi.Charge,
+			RegFile: rf, NSrc: xi.NSrc, DestIsSrc: xi.DestIsSrc,
+			Mem: mem, NoDest: xi.NoDest,
+		})
+	}
+	return NewPool(arch, defs, xp.IntRegs, xp.VecRegs, xp.MemSlots)
+}
+
+// WritePoolXML serializes the pool in the format LoadPoolXML reads.
+func WritePoolXML(w io.Writer, p *Pool) error {
+	xp := xmlPool{
+		Arch:     p.Arch.String(),
+		IntRegs:  p.IntRegs,
+		VecRegs:  p.VecRegs,
+		MemSlots: p.MemSlots,
+	}
+	for i := range p.Defs {
+		d := &p.Defs[i]
+		var rf string
+		if d.RegFile == RegVec {
+			rf = "vec"
+		} else {
+			rf = "int"
+		}
+		xp.Insts = append(xp.Insts, xmlInst{
+			Mnemonic: d.Mnemonic, Class: d.Class.String(), Unit: d.Unit.String(),
+			Latency: d.Latency, Block: d.Block, Charge: d.Charge,
+			RegFile: rf, NSrc: d.NSrc, DestIsSrc: d.DestIsSrc,
+			Mem: memModeNames[d.Mem], NoDest: d.NoDest,
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(xp); err != nil {
+		return fmt.Errorf("isa: encoding pool XML: %w", err)
+	}
+	return enc.Close()
+}

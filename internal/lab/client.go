@@ -1,0 +1,221 @@
+package lab
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/ga"
+	"repro/internal/isa"
+)
+
+// Client is the workstation side: it drives a remote lab daemon over TCP
+// and exposes the measurement loop the GA needs.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a lab daemon.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("lab: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close ends the session politely and closes the connection.
+func (c *Client) Close() error {
+	_ = writeLine(c.w, "QUIT")
+	return c.conn.Close()
+}
+
+// roundTrip sends one command line and parses the reply payload.
+func (c *Client) roundTrip(format string, args ...any) (string, error) {
+	if err := writeLine(c.w, format, args...); err != nil {
+		return "", fmt.Errorf("lab: send: %w", err)
+	}
+	return c.readReply()
+}
+
+func (c *Client) readReply() (string, error) {
+	line, err := readLine(c.r)
+	if err != nil {
+		return "", fmt.Errorf("lab: receive: %w", err)
+	}
+	ok, payload, err := parseReply(line)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("lab: target error: %s", payload)
+	}
+	return payload, nil
+}
+
+// Info returns the target's platform name and domain inventory.
+func (c *Client) Info() (string, []string, error) {
+	payload, err := c.roundTrip("INFO")
+	if err != nil {
+		return "", nil, err
+	}
+	fields := strings.Fields(payload)
+	if len(fields) < 1 {
+		return "", nil, fmt.Errorf("lab: malformed INFO reply %q", payload)
+	}
+	return fields[0], fields[1:], nil
+}
+
+// Load ships an individual's source to the target, which assembles it.
+func (c *Client) Load(domain string, cores int, pool *isa.Pool, seq []isa.Inst) error {
+	text := isa.FormatProgram(pool, seq)
+	lines := strings.Count(text, "\n")
+	if err := writeLine(c.w, "LOAD %s %d %d", domain, cores, lines); err != nil {
+		return fmt.Errorf("lab: send: %w", err)
+	}
+	if _, err := c.w.WriteString(text); err != nil {
+		return fmt.Errorf("lab: send program: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("lab: send program: %w", err)
+	}
+	_, err := c.readReply()
+	return err
+}
+
+// Run starts the loaded workload on the target.
+func (c *Client) Run() error {
+	_, err := c.roundTrip("RUN")
+	return err
+}
+
+// Stop terminates the running workload.
+func (c *Client) Stop() error {
+	_, err := c.roundTrip("STOP")
+	return err
+}
+
+// RemoteMeasurement is the target's analyzer reading.
+type RemoteMeasurement struct {
+	PeakDBm  float64
+	PeakHz   float64
+	StdevDBm float64
+}
+
+// Measure asks the target bench for an averaged EM peak measurement.
+func (c *Client) Measure(samples int) (*RemoteMeasurement, error) {
+	payload, err := c.roundTrip("MEASURE %d", samples)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(payload)
+	m := &RemoteMeasurement{}
+	if m.PeakDBm, err = floatField(fields, 0, "peak dBm"); err != nil {
+		return nil, err
+	}
+	if m.PeakHz, err = floatField(fields, 1, "peak Hz"); err != nil {
+		return nil, err
+	}
+	if m.StdevDBm, err = floatField(fields, 2, "stdev"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Sweep runs the fast resonance sweep remotely.
+func (c *Client) Sweep(domain string, cores int) (resonanceHz, peakDBm float64, points int, err error) {
+	payload, err := c.roundTrip("SWEEP %s %d", domain, cores)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fields := strings.Fields(payload)
+	if resonanceHz, err = floatField(fields, 0, "resonance"); err != nil {
+		return 0, 0, 0, err
+	}
+	if peakDBm, err = floatField(fields, 1, "peak"); err != nil {
+		return 0, 0, 0, err
+	}
+	if points, err = intField(fields, 2, "points"); err != nil {
+		return 0, 0, 0, err
+	}
+	return resonanceHz, peakDBm, points, nil
+}
+
+// RemoteVmin is a V_MIN search outcome from the target.
+type RemoteVmin struct {
+	VminV   float64
+	MarginV float64
+	Outcome string
+}
+
+// Vmin runs a V_MIN campaign on the currently loaded workload remotely.
+func (c *Client) Vmin(repeats int) (*RemoteVmin, error) {
+	payload, err := c.roundTrip("VMIN %d", repeats)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(payload)
+	out := &RemoteVmin{}
+	if out.VminV, err = floatField(fields, 0, "vmin"); err != nil {
+		return nil, err
+	}
+	if out.MarginV, err = floatField(fields, 1, "margin"); err != nil {
+		return nil, err
+	}
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("lab: malformed VMIN reply %q", payload)
+	}
+	out.Outcome = fields[2]
+	return out, nil
+}
+
+// SetClock adjusts the target's DVFS point.
+func (c *Client) SetClock(domain string, hz float64) error {
+	_, err := c.roundTrip("SETCLOCK %s %g", domain, hz)
+	return err
+}
+
+// SetVolts adjusts the target's supply setpoint.
+func (c *Client) SetVolts(domain string, v float64) error {
+	_, err := c.roundTrip("SETVOLTS %s %g", domain, v)
+	return err
+}
+
+// SetCores power-gates cores on the target.
+func (c *Client) SetCores(domain string, n int) error {
+	_, err := c.roundTrip("SETCORES %s %d", domain, n)
+	return err
+}
+
+// Reset restores a domain to nominal state.
+func (c *Client) Reset(domain string) error {
+	_, err := c.roundTrip("RESET %s", domain)
+	return err
+}
+
+// Measurer returns a GA fitness function that evaluates each individual on
+// the remote target: load, run, measure, stop — the paper's per-individual
+// loop.
+func (c *Client) Measurer(domain string, cores, samples int, pool *isa.Pool) ga.Measurer {
+	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
+		if err := c.Load(domain, cores, pool, seq); err != nil {
+			return 0, 0, err
+		}
+		if err := c.Run(); err != nil {
+			return 0, 0, err
+		}
+		m, err := c.Measure(samples)
+		if err != nil {
+			_ = c.Stop()
+			return 0, 0, err
+		}
+		if err := c.Stop(); err != nil {
+			return 0, 0, err
+		}
+		return m.PeakDBm, m.PeakHz, nil
+	})
+}

@@ -1,0 +1,95 @@
+// Package lab implements the paper's measurement orchestration (Section
+// 3.2): the GA runs on a workstation, ships each individual's assembly
+// source to the target machine, starts it, drives the spectrum analyzer to
+// take the measurement, and then kills the binary. Here the transport is a
+// line-oriented TCP protocol instead of SSH plus an instrument bus, but the
+// control flow — and the failure modes a distributed measurement loop must
+// tolerate — are the same.
+//
+// Protocol (requests are single lines; the program body follows LOAD):
+//
+//	LOAD <domain> <cores> <lines>   + <lines> lines of assembly
+//	RUN                             start the loaded workload
+//	STOP                            stop the running workload
+//	MEASURE <samples>               averaged EM peak while running
+//	SWEEP <domain> <cores>          fast resonance sweep (Section 5.3)
+//	VMIN [repeats]                  V_MIN search of the loaded workload
+//	SETCLOCK <domain> <hz>          DVFS control (DS-5 / Overdrive role)
+//	SETCORES <domain> <n>           power-gate cores via the SCP
+//	SETVOLTS <domain> <v>           supply control
+//	RESET <domain>                  restore nominal domain state
+//	INFO                            platform and domain inventory
+//	QUIT                            close the session
+//
+// Responses are "OK ..." or "ERR <message>".
+package lab
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// reply codes.
+const (
+	replyOK  = "OK"
+	replyErr = "ERR"
+)
+
+// writeLine sends one protocol line.
+func writeLine(w *bufio.Writer, format string, args ...any) error {
+	if _, err := fmt.Fprintf(w, format+"\n", args...); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readLine reads one protocol line without the trailing newline.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// parseReply splits a response into its code and payload.
+func parseReply(line string) (ok bool, payload string, err error) {
+	switch {
+	case line == replyOK:
+		return true, "", nil
+	case strings.HasPrefix(line, replyOK+" "):
+		return true, line[len(replyOK)+1:], nil
+	case strings.HasPrefix(line, replyErr+" "):
+		return false, line[len(replyErr)+1:], nil
+	case line == replyErr:
+		return false, "unspecified error", nil
+	default:
+		return false, "", fmt.Errorf("lab: malformed reply %q", line)
+	}
+}
+
+// field helpers for payload parsing.
+
+func floatField(fields []string, i int, what string) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("lab: missing %s field", what)
+	}
+	v, err := strconv.ParseFloat(fields[i], 64)
+	if err != nil {
+		return 0, fmt.Errorf("lab: bad %s %q", what, fields[i])
+	}
+	return v, nil
+}
+
+func intField(fields []string, i int, what string) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("lab: missing %s field", what)
+	}
+	v, err := strconv.Atoi(fields[i])
+	if err != nil {
+		return 0, fmt.Errorf("lab: bad %s %q", what, fields[i])
+	}
+	return v, nil
+}

@@ -1,0 +1,308 @@
+package lab
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/platform"
+	"repro/internal/vmin"
+)
+
+// Server is the target-machine daemon: it owns the platform under test and
+// the instruments physically attached to the bench, and executes the
+// workstation's commands.
+type Server struct {
+	Bench *core.Bench
+
+	mu      sync.Mutex
+	current *loaded // the workload currently loaded/running
+	running bool
+}
+
+type loaded struct {
+	domain *platform.Domain
+	load   platform.Load
+}
+
+// NewServer wraps a bench as a lab daemon.
+func NewServer(b *core.Bench) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("lab: nil bench")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{Bench: b}, nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		quit, err := s.dispatch(r, w, line)
+		if err != nil {
+			if werr := writeLine(w, "%s %v", replyErr, err); werr != nil {
+				return
+			}
+			continue
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command; successful commands write their own OK.
+func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, fmt.Errorf("empty command")
+	}
+	switch fields[0] {
+	case "QUIT":
+		_ = writeLine(w, "%s bye", replyOK)
+		return true, nil
+	case "INFO":
+		return false, s.cmdInfo(w)
+	case "LOAD":
+		return false, s.cmdLoad(r, w, fields)
+	case "RUN":
+		return false, s.cmdRun(w)
+	case "STOP":
+		return false, s.cmdStop(w)
+	case "MEASURE":
+		return false, s.cmdMeasure(w, fields)
+	case "SWEEP":
+		return false, s.cmdSweep(w, fields)
+	case "VMIN":
+		return false, s.cmdVmin(w, fields)
+	case "SETCLOCK":
+		return false, s.cmdSet(w, fields, func(d *platform.Domain, v float64) error {
+			return d.SetClockHz(v)
+		})
+	case "SETVOLTS":
+		return false, s.cmdSet(w, fields, func(d *platform.Domain, v float64) error {
+			return d.SetSupplyVolts(v)
+		})
+	case "SETCORES":
+		return false, s.cmdSetCores(w, fields)
+	case "RESET":
+		return false, s.cmdReset(w, fields)
+	default:
+		return false, fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func (s *Server) domain(name string) (*platform.Domain, error) {
+	return s.Bench.Platform.Domain(name)
+}
+
+func (s *Server) cmdInfo(w *bufio.Writer) error {
+	var names []string
+	for _, d := range s.Bench.Platform.Domains() {
+		names = append(names, fmt.Sprintf("%s/%d", d.Spec.Name, d.Spec.TotalCores))
+	}
+	return writeLine(w, "%s %s %s", replyOK, s.Bench.Platform.Name, strings.Join(names, " "))
+}
+
+func (s *Server) cmdLoad(r *bufio.Reader, w *bufio.Writer, fields []string) error {
+	if len(fields) != 4 {
+		return fmt.Errorf("usage: LOAD <domain> <cores> <lines>")
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	cores, err := intField(fields, 2, "cores")
+	if err != nil {
+		return err
+	}
+	lines, err := intField(fields, 3, "lines")
+	if err != nil {
+		return err
+	}
+	if lines < 1 || lines > 10000 {
+		return fmt.Errorf("line count %d out of range", lines)
+	}
+	var body strings.Builder
+	for i := 0; i < lines; i++ {
+		ln, err := readLine(r)
+		if err != nil {
+			return fmt.Errorf("reading program: %v", err)
+		}
+		body.WriteString(ln)
+		body.WriteByte('\n')
+	}
+	seq, err := isa.ParseProgram(d.Spec.Pool(), body.String())
+	if err != nil {
+		return err
+	}
+	if len(seq) == 0 {
+		return fmt.Errorf("program has no instructions")
+	}
+	s.mu.Lock()
+	s.current = &loaded{domain: d, load: platform.Load{Seq: seq, ActiveCores: cores}}
+	s.running = false
+	s.mu.Unlock()
+	return writeLine(w, "%s loaded %d", replyOK, len(seq))
+}
+
+func (s *Server) cmdRun(w *bufio.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current == nil {
+		return fmt.Errorf("nothing loaded")
+	}
+	s.running = true
+	return writeLine(w, "%s running", replyOK)
+}
+
+func (s *Server) cmdStop(w *bufio.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running = false
+	return writeLine(w, "%s stopped", replyOK)
+}
+
+func (s *Server) cmdMeasure(w *bufio.Writer, fields []string) error {
+	samples := s.Bench.Samples
+	if len(fields) > 1 {
+		var err error
+		samples, err = intField(fields, 1, "samples")
+		if err != nil {
+			return err
+		}
+		if samples < 1 || samples > 1000 {
+			return fmt.Errorf("sample count %d out of range", samples)
+		}
+	}
+	s.mu.Lock()
+	cur, running := s.current, s.running
+	s.mu.Unlock()
+	if cur == nil || !running {
+		return fmt.Errorf("no workload running")
+	}
+	b := *s.Bench
+	b.Samples = samples
+	m, err := b.EMMeasure(cur.domain, cur.load)
+	if err != nil {
+		return err
+	}
+	return writeLine(w, "%s %g %g %g", replyOK, m.PeakDBm, m.PeakHz, m.StdevDBm)
+}
+
+func (s *Server) cmdSweep(w *bufio.Writer, fields []string) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: SWEEP <domain> <cores>")
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	cores, err := intField(fields, 2, "cores")
+	if err != nil {
+		return err
+	}
+	res, err := s.Bench.FastResonanceSweep(d, cores)
+	if err != nil {
+		return err
+	}
+	return writeLine(w, "%s %g %g %d", replyOK, res.ResonanceHz, res.PeakDBm, len(res.Points))
+}
+
+// cmdVmin runs a V_MIN search (optionally repeated) on the currently
+// loaded workload and reports the worst observed V_MIN.
+func (s *Server) cmdVmin(w *bufio.Writer, fields []string) error {
+	repeats := 1
+	if len(fields) > 1 {
+		var err error
+		repeats, err = intField(fields, 1, "repeats")
+		if err != nil {
+			return err
+		}
+		if repeats < 1 || repeats > 100 {
+			return fmt.Errorf("repeat count %d out of range", repeats)
+		}
+	}
+	s.mu.Lock()
+	cur := s.current
+	s.mu.Unlock()
+	if cur == nil {
+		return fmt.Errorf("nothing loaded")
+	}
+	tester := vmin.NewTester(cur.domain, 1)
+	res, _, err := tester.Repeat(cur.load, repeats)
+	if err != nil {
+		return err
+	}
+	return writeLine(w, "%s %g %g %s", replyOK, res.VminV, res.MarginV, res.Outcome)
+}
+
+func (s *Server) cmdSet(w *bufio.Writer, fields []string, set func(*platform.Domain, float64) error) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: %s <domain> <value>", fields[0])
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	v, err := floatField(fields, 2, "value")
+	if err != nil {
+		return err
+	}
+	if err := set(d, v); err != nil {
+		return err
+	}
+	return writeLine(w, "%s", replyOK)
+}
+
+func (s *Server) cmdSetCores(w *bufio.Writer, fields []string) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: SETCORES <domain> <n>")
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	n, err := intField(fields, 2, "cores")
+	if err != nil {
+		return err
+	}
+	if err := d.SetPoweredCores(n); err != nil {
+		return err
+	}
+	return writeLine(w, "%s", replyOK)
+}
+
+func (s *Server) cmdReset(w *bufio.Writer, fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: RESET <domain>")
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	d.Reset()
+	return writeLine(w, "%s", replyOK)
+}

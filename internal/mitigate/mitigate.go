@@ -1,0 +1,132 @@
+// Package mitigate models the droop-mitigation mechanism the paper's
+// Section 6 discussion puts at risk: adaptive clocking (Grenat/Lefurgy
+// style), which watches the rail and stretches the clock when a droop
+// begins, needs its response to land before the droop bottoms out. The
+// warning-to-emergency lead time scales with the PDN oscillation period,
+// so power-gating cores — which raises the first-order resonance — eats
+// directly into the mechanism's latency budget. This package quantifies
+// that effect on simulated voltage traces.
+package mitigate
+
+import (
+	"fmt"
+
+	"repro/internal/pdn"
+)
+
+// AdaptiveClock describes a droop detector + clock stretcher.
+type AdaptiveClock struct {
+	// WarnDroopV is the droop (below nominal) at which the detector fires.
+	WarnDroopV float64
+	// EmergencyDroopV is the droop that must not be reached at full clock
+	// (the margin the mechanism protects).
+	EmergencyDroopV float64
+	// ResponseLatencyS is the detector-to-stretch response time.
+	ResponseLatencyS float64
+}
+
+// Validate reports the first problem with the configuration.
+func (ac AdaptiveClock) Validate() error {
+	if ac.WarnDroopV <= 0 || ac.EmergencyDroopV <= ac.WarnDroopV {
+		return fmt.Errorf("mitigate: thresholds must satisfy 0 < warn < emergency, got %+v", ac)
+	}
+	if ac.ResponseLatencyS < 0 {
+		return fmt.Errorf("mitigate: negative response latency")
+	}
+	return nil
+}
+
+// Analysis is the outcome of replaying a voltage trace against the
+// mechanism.
+type Analysis struct {
+	// Emergencies is the number of excursions below the emergency level.
+	Emergencies int
+	// Caught is how many of them the stretcher would have intercepted
+	// (warning fired at least ResponseLatency before the emergency).
+	Caught int
+	// CaughtFraction is Caught/Emergencies (1.0 when there are none).
+	CaughtFraction float64
+	// MinLeadS is the shortest observed warning-to-emergency lead time.
+	MinLeadS float64
+}
+
+// Analyze replays the die-voltage trace: every crossing below the
+// emergency level is an emergency; it is caught if the same excursion
+// crossed the warning level at least ResponseLatency earlier.
+func Analyze(ac AdaptiveClock, resp *pdn.Response, vnom float64) (*Analysis, error) {
+	if err := ac.Validate(); err != nil {
+		return nil, err
+	}
+	if resp == nil || len(resp.VDie) < 2 {
+		return nil, fmt.Errorf("mitigate: empty response")
+	}
+	warn := vnom - ac.WarnDroopV
+	emergency := vnom - ac.EmergencyDroopV
+
+	out := &Analysis{MinLeadS: -1}
+	inExcursion := false
+	warnAt := -1.0
+	emergencySeen := false
+	for i, v := range resp.VDie {
+		t := float64(i) * resp.Dt
+		switch {
+		case !inExcursion && v < warn:
+			inExcursion = true
+			warnAt = t
+			emergencySeen = false
+		case inExcursion && v >= warn:
+			inExcursion = false
+		}
+		if inExcursion && !emergencySeen && v < emergency {
+			emergencySeen = true
+			out.Emergencies++
+			lead := t - warnAt
+			if lead >= ac.ResponseLatencyS {
+				out.Caught++
+			}
+			if out.MinLeadS < 0 || lead < out.MinLeadS {
+				out.MinLeadS = lead
+			}
+		}
+	}
+	if out.Emergencies == 0 {
+		out.CaughtFraction = 1
+		out.MinLeadS = 0
+		return out, nil
+	}
+	out.CaughtFraction = float64(out.Caught) / float64(out.Emergencies)
+	return out, nil
+}
+
+// LatencyPoint pairs a response latency with the caught fraction.
+type LatencyPoint struct {
+	LatencyS       float64
+	CaughtFraction float64
+}
+
+// LatencySweep evaluates the mechanism across response latencies.
+func LatencySweep(ac AdaptiveClock, resp *pdn.Response, vnom float64, latencies []float64) ([]LatencyPoint, error) {
+	out := make([]LatencyPoint, 0, len(latencies))
+	for _, l := range latencies {
+		cfg := ac
+		cfg.ResponseLatencyS = l
+		a, err := Analyze(cfg, resp, vnom)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LatencyPoint{LatencyS: l, CaughtFraction: a.CaughtFraction})
+	}
+	return out, nil
+}
+
+// CriticalLatency returns the largest latency in the sweep that still
+// catches every emergency (0 if none does).
+func CriticalLatency(points []LatencyPoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.CaughtFraction >= 1 && p.LatencyS > best {
+			best = p.LatencyS
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+package pdn
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/dsp"
+)
+
+// Response holds a time-domain PDN response.
+type Response struct {
+	Dt   float64   // sample spacing, seconds
+	VDie []float64 // die voltage including DC level
+	IDie []float64 // package-inductor current (the EM-radiating feed current)
+}
+
+// MaxDroop returns the largest drop of VDie below the nominal voltage.
+func (r *Response) MaxDroop(vnom float64) float64 {
+	var worst float64
+	for _, v := range r.VDie {
+		if d := vnom - v; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PeakToPeak returns the peak-to-peak die-voltage swing.
+func (r *Response) PeakToPeak() float64 { return dsp.PeakToPeak(r.VDie) }
+
+// MinVoltage returns the lowest die voltage in the response.
+func (r *Response) MinVoltage() float64 {
+	min, _ := dsp.MinMax(r.VDie)
+	return min
+}
+
+// Transient integrates the PDN under the given load-current waveform,
+// starting from the DC operating point with the load's t=0 value.
+func (m *Model) Transient(load circuit.Waveform, dt float64, steps int) (*Response, error) {
+	ckt := m.build(load)
+	tr, err := ckt.RunTransient(circuit.TransientOptions{Dt: dt, Steps: steps, FromOP: true})
+	if err != nil {
+		return nil, err
+	}
+	v, err := tr.Voltage(NodeDie)
+	if err != nil {
+		return nil, err
+	}
+	i, err := tr.Current(ElemLPkg)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Dt: dt, VDie: v, IDie: i}, nil
+}
+
+// StepResponse integrates the response to a load-current step of the given
+// amplitude applied at t=0+ (Figure 1c of the paper).
+func (m *Model) StepResponse(amps, dt float64, steps int) (*Response, error) {
+	step := func(t float64) float64 {
+		if t > 0 {
+			return amps
+		}
+		return 0
+	}
+	return m.Transient(step, dt, steps)
+}
+
+// TransferSet holds the precomputed complex transfers at the bin frequencies
+// of an N-point FFT with sample spacing Dt: for bin k (0..N/2),
+// HV[k] is the die-voltage phasor and HI[k] the package-inductor-current
+// phasor per unit load current at frequency k/(N·Dt).
+//
+// A TransferSet depends only on the model, N and Dt, so callers evaluating
+// many load waveforms (the GA) compute it once and reuse it.
+type TransferSet struct {
+	N  int
+	Dt float64
+	HV []complex128 // len N/2+1
+	HI []complex128 // len N/2+1
+
+	vnominal float64
+	rSeries  float64 // total DC series resistance, for the DC droop term
+}
+
+// Transfers computes the transfer set for n samples at spacing dt.
+func (m *Model) Transfers(n int, dt float64) (*TransferSet, error) {
+	if err := dsp.Validate(n, 1/dt); err != nil {
+		return nil, err
+	}
+	ckt := m.build(circuit.DC(0))
+	half := n/2 + 1
+	ts := &TransferSet{
+		N: n, Dt: dt,
+		HV:       make([]complex128, half),
+		HI:       make([]complex128, half),
+		vnominal: m.Params.VNominal,
+	}
+	fs := 1 / dt
+	for k := 0; k < half; k++ {
+		f := dsp.BinFreq(k, n, fs)
+		res, err := ckt.SolveAC(f, circuit.ACStimulus{ElemLoad: 1})
+		if err != nil {
+			return nil, fmt.Errorf("pdn: transfer at bin %d (%g Hz): %w", k, f, err)
+		}
+		hv, err := res.Voltage(NodeDie)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := res.Current(ElemLPkg)
+		if err != nil {
+			return nil, err
+		}
+		ts.HV[k] = hv
+		ts.HI[k] = hi
+	}
+	// At DC, HV is -R_series; remember it for reporting.
+	ts.rSeries = -real(ts.HV[0])
+	return ts, nil
+}
+
+// SteadyState returns the exact periodic steady-state response to the load
+// waveform (len must be N): VDie includes the nominal DC level, IDie is the
+// package-inductor current including its DC component.
+func (ts *TransferSet) SteadyState(load []float64) (*Response, error) {
+	return ts.SteadyStateAt(load, ts.vnominal)
+}
+
+// SteadyStateAt is SteadyState with an explicit regulator setpoint. The
+// transfer functions themselves are independent of the supply (the network
+// is linear), so one TransferSet serves every voltage step of a V_MIN
+// search.
+func (ts *TransferSet) SteadyStateAt(load []float64, vnominal float64) (*Response, error) {
+	if len(load) != ts.N {
+		return nil, fmt.Errorf("pdn: steady-state load length %d, want %d", len(load), ts.N)
+	}
+	spec := dsp.FFTReal(load)
+	n := ts.N
+	vspec := make([]complex128, n)
+	ispec := make([]complex128, n)
+	for k := 0; k <= n/2; k++ {
+		vspec[k] = spec[k] * ts.HV[k]
+		ispec[k] = spec[k] * ts.HI[k]
+		if k != 0 && k != n-k {
+			vspec[n-k] = cmplx.Conj(vspec[k])
+			ispec[n-k] = cmplx.Conj(ispec[k])
+		}
+	}
+	vt := dsp.IFFT(vspec)
+	it := dsp.IFFT(ispec)
+	out := &Response{Dt: ts.Dt, VDie: make([]float64, n), IDie: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		out.VDie[i] = vnominal + real(vt[i])
+		out.IDie[i] = real(it[i])
+	}
+	// IDie from the transfer is the *perturbation*; its DC component equals
+	// the load's mean already via HI[0] (at DC all load current flows
+	// through the inductor), so nothing more to add.
+	return out, nil
+}
+
+// Spectra returns the single-sided amplitude spectra of the die voltage and
+// inductor current under the given load waveform (len N): freqs[k] in Hz,
+// amplitudes in volts and amps.
+func (ts *TransferSet) Spectra(load []float64) (freqs, vAmp, iAmp []float64, err error) {
+	if len(load) != ts.N {
+		return nil, nil, nil, fmt.Errorf("pdn: spectra load length %d, want %d", len(load), ts.N)
+	}
+	spec := dsp.FFTReal(load)
+	n := ts.N
+	half := n/2 + 1
+	fs := 1 / ts.Dt
+	freqs = make([]float64, half)
+	vAmp = make([]float64, half)
+	iAmp = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freqs[k] = dsp.BinFreq(k, n, fs)
+		scale := 1 / float64(n)
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			scale *= 2
+		}
+		mag := cmplx.Abs(spec[k]) * scale
+		vAmp[k] = mag * cmplx.Abs(ts.HV[k])
+		iAmp[k] = mag * cmplx.Abs(ts.HI[k])
+	}
+	return freqs, vAmp, iAmp, nil
+}
+
+// RSeries returns the total DC series resistance of the network as seen by
+// the die (used for IR-drop reporting).
+func (ts *TransferSet) RSeries() float64 { return ts.rSeries }

@@ -1,0 +1,43 @@
+package pdn
+
+// Thermal adjustment. The paper's margining footnote lists temperature
+// hot-spots among the variation effects margins must absorb; for the EM
+// methodology the practical question is how much the electrical fingerprint
+// drifts between a cold and a hot board. Copper resistance rises ~0.39%/K
+// and on-die MOS capacitance creeps up slightly with temperature; reactances
+// (L) are essentially athermal. The net effect on the first-order resonance
+// is small — mostly a damping change — which is why fingerprint thresholds
+// can be tight.
+
+// Temperature coefficients used by AtTemperature.
+const (
+	// CopperTempCo is the fractional resistance change per kelvin.
+	CopperTempCo = 0.0039
+	// DieCapTempCo is the fractional die-capacitance change per kelvin.
+	DieCapTempCo = 0.0003
+)
+
+// AtTemperature returns the parameters adjusted from the calibration
+// temperature by deltaC kelvin: all resistive elements scale with the
+// copper coefficient, the die capacitance with the (small) MOS coefficient,
+// inductances stay put.
+func (p Params) AtTemperature(deltaC float64) Params {
+	r := 1 + CopperTempCo*deltaC
+	if r < 0.1 {
+		r = 0.1 // clamp: far outside any operating range
+	}
+	c := 1 + DieCapTempCo*deltaC
+	if c < 0.5 {
+		c = 0.5
+	}
+	out := p
+	out.RDie *= r
+	out.RPkgTrace *= r
+	out.ESRPkg *= r
+	out.RPcbTrace *= r
+	out.ESRPcb *= r
+	out.RVrm *= r
+	out.CDieCore *= c
+	out.CDieUncore *= c
+	return out
+}

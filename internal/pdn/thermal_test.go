@@ -1,0 +1,75 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtTemperatureScalesResistances(t *testing.T) {
+	p := testParams()
+	hot := p.AtTemperature(50)
+	wantR := 1 + CopperTempCo*50
+	if math.Abs(hot.RDie/p.RDie-wantR) > 1e-12 {
+		t.Fatalf("RDie ratio %v, want %v", hot.RDie/p.RDie, wantR)
+	}
+	if math.Abs(hot.ESRPkg/p.ESRPkg-wantR) > 1e-12 {
+		t.Fatalf("ESRPkg not scaled")
+	}
+	if hot.LPkg != p.LPkg || hot.LPcb != p.LPcb {
+		t.Fatal("inductance changed with temperature")
+	}
+	wantC := 1 + DieCapTempCo*50
+	if math.Abs(hot.CDieCore/p.CDieCore-wantC) > 1e-12 {
+		t.Fatalf("CDieCore ratio %v, want %v", hot.CDieCore/p.CDieCore, wantC)
+	}
+	// Package/PCB ceramics treated as athermal here.
+	if hot.CPkg != p.CPkg {
+		t.Fatal("package capacitance changed")
+	}
+}
+
+func TestAtTemperatureClamps(t *testing.T) {
+	p := testParams()
+	frozen := p.AtTemperature(-1000)
+	if frozen.RDie <= 0 {
+		t.Fatal("resistance went non-positive")
+	}
+	if err := frozen.Validate(); err != nil {
+		t.Fatalf("clamped params invalid: %v", err)
+	}
+}
+
+func TestResonanceDriftWithTemperatureIsSmall(t *testing.T) {
+	cold, err := NewModel(testParams().AtTemperature(-20), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewModel(testParams().AtTemperature(60), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _, err := cold.ResonancePeak(30e6, 150e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, _, err := hot.ResonancePeak(30e6, 150e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := math.Abs(fh - fc)
+	if drift > 3e6 {
+		t.Fatalf("resonance drifted %v Hz over 80 K — fingerprint thresholds assume < 3 MHz", drift)
+	}
+	// Damping, however, visibly changes: hot boards have lower Q.
+	_, zc, err := cold.ResonancePeak(30e6, 150e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, zh, err := hot.ResonancePeak(30e6, 150e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zh >= zc {
+		t.Fatalf("hot impedance peak %v not below cold %v", zh, zc)
+	}
+}

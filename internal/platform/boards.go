@@ -1,0 +1,194 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/em"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/uarch"
+)
+
+// Platform is a board with one or more CPU voltage domains and one receiver
+// antenna position (the paper places the loop antenna under the PCB where
+// it picks up every domain simultaneously).
+type Platform struct {
+	Name    string
+	Antenna em.Antenna
+
+	domains map[string]*Domain
+	order   []string
+}
+
+// NewPlatform assembles a platform from domain specs.
+func NewPlatform(name string, antenna em.Antenna, specs ...Spec) (*Platform, error) {
+	if err := antenna.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("platform: %s has no domains", name)
+	}
+	p := &Platform{Name: name, Antenna: antenna, domains: make(map[string]*Domain)}
+	for _, spec := range specs {
+		if _, dup := p.domains[spec.Name]; dup {
+			return nil, fmt.Errorf("platform: duplicate domain %q", spec.Name)
+		}
+		d, err := NewDomain(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.domains[spec.Name] = d
+		p.order = append(p.order, spec.Name)
+	}
+	return p, nil
+}
+
+// Domain returns the named voltage domain.
+func (p *Platform) Domain(name string) (*Domain, error) {
+	d, ok := p.domains[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: %s has no domain %q", p.Name, name)
+	}
+	return d, nil
+}
+
+// Domains returns all domains in declaration order.
+func (p *Platform) Domains() []*Domain {
+	out := make([]*Domain, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, p.domains[name])
+	}
+	return out
+}
+
+// Domain names on the built-in platforms.
+const (
+	DomainA72    = "cortex-a72"
+	DomainA53    = "cortex-a53"
+	DomainAthlon = "athlon-ii-x4"
+)
+
+// junoA72PDN is calibrated for a ~67 MHz first-order resonance with both
+// cores powered and ~85 MHz with one (paper Figures 8 and 11).
+func junoA72PDN() pdn.Params {
+	return pdn.Params{
+		Name:       "juno-a72",
+		VNominal:   1.0,
+		CDieCore:   12e-9,
+		CDieUncore: 7.3e-9,
+		RDie:       0.014,
+		LPkg:       136.9e-12,
+		RPkgTrace:  0.4e-3,
+		CPkg:       1e-6,
+		ESRPkg:     15e-3,
+		ESLPkg:     50e-12,
+		LPcb:       2e-9,
+		RPcbTrace:  1e-3,
+		CPcb:       300e-6,
+		ESRPcb:     2e-3,
+		ESLPcb:     1e-9,
+		LVrm:       20e-9,
+		RVrm:       0.5e-3,
+	}
+}
+
+// junoA53PDN is calibrated for ~76.5 MHz with four cores and ~97 MHz with
+// one (paper Figure 13).
+func junoA53PDN() pdn.Params {
+	p := junoA72PDN()
+	p.Name = "juno-a53"
+	p.CDieCore = 4e-9
+	p.CDieUncore = 15.7e-9
+	p.RDie = 0.012
+	p.LPkg = 91.8e-12
+	return p
+}
+
+// athlonPDN is calibrated for a ~78 MHz resonance with four cores (paper
+// Figure 16). A 45nm desktop die has far more capacitance and a stiffer
+// package.
+func athlonPDN() pdn.Params {
+	return pdn.Params{
+		Name:       "athlon-ii",
+		VNominal:   1.4,
+		CDieCore:   10e-9,
+		CDieUncore: 10e-9,
+		RDie:       0.005,
+		LPkg:       75.68e-12,
+		RPkgTrace:  0.15e-3,
+		CPkg:       4e-6,
+		ESRPkg:     12e-3,
+		ESLPkg:     8e-12,
+		LPcb:       1.2e-9,
+		RPcbTrace:  0.5e-3,
+		CPcb:       1000e-6,
+		ESRPcb:     1.5e-3,
+		ESLPcb:     1e-9,
+		LVrm:       12e-9,
+		RVrm:       0.3e-3,
+	}
+}
+
+// JunoR2 builds the ARM Juno R2 big.LITTLE platform of Table 1.
+func JunoR2() (*Platform, error) {
+	a72 := Spec{
+		Name:              DomainA72,
+		Board:             "Juno Board R2",
+		ISA:               isa.ARM64,
+		PDN:               junoA72PDN(),
+		Core:              uarch.CortexA72(),
+		TotalCores:        2,
+		MaxClockHz:        1.2e9,
+		ClockStepHz:       20e6,
+		VoltageVisibility: "oc-dso",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 1e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 0.739, SlackPerHz: 1.0e-10, SDCBand: 0.010},
+		TechNode:          16,
+		OS:                "Debian (4.4.0-135-arm64)",
+	}
+	a53 := Spec{
+		Name:              DomainA53,
+		Board:             "Juno Board R2",
+		ISA:               isa.ARM64,
+		PDN:               junoA53PDN(),
+		Core:              uarch.CortexA53(),
+		TotalCores:        4,
+		MaxClockHz:        0.95e9,
+		ClockStepHz:       25e6,
+		VoltageVisibility: "none",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 0.8e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 0.788, SlackPerHz: 1.0e-10, SDCBand: 0.010},
+		TechNode:          16,
+		OS:                "Debian (4.4.0-135-arm64)",
+	}
+	return NewPlatform("juno-r2", em.DefaultLoopAntenna(), a72, a53)
+}
+
+// AMDDesktop builds the Athlon II X4 645 desktop platform of Table 1.
+func AMDDesktop() (*Platform, error) {
+	athlon := Spec{
+		Name:              DomainAthlon,
+		Board:             "Asus M5A78L LE",
+		ISA:               isa.X86,
+		PDN:               athlonPDN(),
+		Core:              uarch.AthlonII(),
+		TotalCores:        4,
+		MaxClockHz:        3.1e9,
+		ClockStepHz:       100e6,
+		VoltageVisibility: "kelvin-pads",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 2e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 1.187, SlackPerHz: 2.0e-11, SDCBand: 0.0125},
+		TechNode:          45,
+		OS:                "Windows 8.1",
+	}
+	return NewPlatform("amd-desktop", em.DefaultLoopAntenna(), athlon)
+}
+
+// VminStepVolts returns the supply-step granularity used in V_MIN searches
+// on this domain (10 mV on the Juno rails, 12.5 mV on the AMD board).
+func (s Spec) VminStepVolts() float64 {
+	if s.ISA == isa.X86 {
+		return 0.0125
+	}
+	return 0.010
+}

@@ -1,0 +1,230 @@
+// Package platform assembles the experimental systems of the paper's
+// Table 1: the ARM Juno R2 board with its Cortex-A72 (dual-core, OC-DSO
+// instrumented) and Cortex-A53 (quad-core, no voltage visibility) voltage
+// domains, and the AMD Athlon II X4 645 desktop (on-package Kelvin pads).
+//
+// A Domain couples a calibrated PDN model, a core model, an instruction
+// pool and an EM coupling path, and exposes the electrical responses the
+// simulated instruments measure. Expensive PDN transfer functions are
+// cached per (powered cores, supply, sampling) configuration, since GA runs
+// evaluate thousands of individuals against the same domain state.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/em"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/uarch"
+)
+
+// FailureParams calibrates the V_MIN failure model of a domain (used by
+// internal/vmin): the critical voltage below which timing fails at the
+// domain's maximum clock, and how much slack returns per Hz of downclock.
+type FailureParams struct {
+	// VCritAtMax is the die voltage at which logic first fails when
+	// running at MaxClockHz.
+	VCritAtMax float64 `json:"v_crit_at_max"`
+	// SlackPerHz lowers the critical voltage as the clock drops:
+	// vcrit(f) = VCritAtMax - SlackPerHz*(MaxClockHz-f).
+	SlackPerHz float64 `json:"slack_per_hz"`
+	// SDCBand is the voltage band just above outright crash in which
+	// silent data corruption or application crashes appear first
+	// (the paper observes ~10 mV).
+	SDCBand float64 `json:"sdc_band"`
+}
+
+// Spec is the static description of one voltage domain.
+type Spec struct {
+	Name       string
+	Board      string
+	ISA        isa.Arch
+	PDN        pdn.Params
+	Core       uarch.Config
+	TotalCores int
+	MaxClockHz float64
+	// ClockStepHz is the granularity of the clock control (the Juno
+	// multiplier steps by 20 MHz, AMD Overdrive by 100 MHz).
+	ClockStepHz float64
+	// VoltageVisibility describes the direct measurement support
+	// ("oc-dso", "kelvin-pads" or "none" — Table 1's rightmost column).
+	VoltageVisibility string
+	// EMPath couples this domain's package to the receiver antenna.
+	EMPath em.Path
+	// Failure calibrates the V_MIN model.
+	Failure FailureParams
+	// TechNode is the process node in nanometres (reporting only).
+	TechNode int
+	// OS is the host operating system (reporting only).
+	OS string
+}
+
+// Domain is a voltage domain with runtime state: supply voltage, clock,
+// and the set of powered cores.
+type Domain struct {
+	Spec Spec
+
+	mu           sync.Mutex
+	poweredCores int
+	clockHz      float64
+	supplyVolts  float64
+	transfers    map[transferKey]*pdn.TransferSet
+}
+
+// transferKey omits the supply setting: the network is linear, so its
+// small-signal transfers are supply-independent and one set serves every
+// voltage step of a V_MIN search.
+type transferKey struct {
+	cores int
+	n     int
+	dt    float64
+}
+
+// NewDomain returns a domain at nominal conditions with all cores powered.
+func NewDomain(spec Spec) (*Domain, error) {
+	if err := spec.PDN.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.EMPath.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.TotalCores < 1 {
+		return nil, fmt.Errorf("platform: domain %s has %d cores", spec.Name, spec.TotalCores)
+	}
+	if spec.MaxClockHz <= 0 || spec.ClockStepHz <= 0 {
+		return nil, fmt.Errorf("platform: domain %s has invalid clocking", spec.Name)
+	}
+	if spec.Pool() == nil {
+		return nil, fmt.Errorf("platform: domain %s has no instruction pool", spec.Name)
+	}
+	return &Domain{
+		Spec:         spec,
+		poweredCores: spec.TotalCores,
+		clockHz:      spec.MaxClockHz,
+		supplyVolts:  spec.PDN.VNominal,
+		transfers:    make(map[transferKey]*pdn.TransferSet),
+	}, nil
+}
+
+// Pool returns the instruction pool for the domain's ISA.
+func (s Spec) Pool() *isa.Pool { return isa.PoolFor(s.ISA) }
+
+// PoweredCores returns the number of powered (not power-gated) cores.
+func (d *Domain) PoweredCores() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.poweredCores
+}
+
+// SetPoweredCores power-gates all but n cores (the SCP operation the paper
+// drives through the DS-5 debugger).
+func (d *Domain) SetPoweredCores(n int) error {
+	if n < 1 || n > d.Spec.TotalCores {
+		return fmt.Errorf("platform: %s: cannot power %d of %d cores", d.Spec.Name, n, d.Spec.TotalCores)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.poweredCores = n
+	return nil
+}
+
+// ClockHz returns the current core clock.
+func (d *Domain) ClockHz() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clockHz
+}
+
+// SetClockHz sets the core clock, snapping to the domain's step size.
+func (d *Domain) SetClockHz(hz float64) error {
+	if hz <= 0 || hz > d.Spec.MaxClockHz {
+		return fmt.Errorf("platform: %s: clock %v outside (0, %v]", d.Spec.Name, hz, d.Spec.MaxClockHz)
+	}
+	steps := math.Round(hz / d.Spec.ClockStepHz)
+	if steps < 1 {
+		steps = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clockHz = steps * d.Spec.ClockStepHz
+	return nil
+}
+
+// ClockSteps lists the available clock settings from low to high.
+func (d *Domain) ClockSteps() []float64 {
+	var out []float64
+	for f := d.Spec.ClockStepHz; f <= d.Spec.MaxClockHz+1e-6; f += d.Spec.ClockStepHz {
+		out = append(out, f)
+	}
+	return out
+}
+
+// SupplyVolts returns the current supply setting.
+func (d *Domain) SupplyVolts() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.supplyVolts
+}
+
+// SetSupplyVolts adjusts the regulator setpoint (the paper steps in 10 mV).
+func (d *Domain) SetSupplyVolts(v float64) error {
+	if v <= 0 || v > 2*d.Spec.PDN.VNominal {
+		return fmt.Errorf("platform: %s: supply %v out of range", d.Spec.Name, v)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.supplyVolts = v
+	return nil
+}
+
+// Reset returns the domain to nominal voltage, maximum clock and all cores
+// powered.
+func (d *Domain) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.poweredCores = d.Spec.TotalCores
+	d.clockHz = d.Spec.MaxClockHz
+	d.supplyVolts = d.Spec.PDN.VNominal
+}
+
+// Model returns the PDN model for the current powered-core count and
+// supply setting.
+func (d *Domain) Model() (*pdn.Model, error) {
+	d.mu.Lock()
+	cores, supply := d.poweredCores, d.supplyVolts
+	d.mu.Unlock()
+	p := d.Spec.PDN
+	p.VNominal = supply
+	return pdn.NewModel(p, cores)
+}
+
+// transferSet returns (building and caching as needed) the PDN transfer
+// functions for the current domain state and the given sampling grid.
+func (d *Domain) transferSet(n int, dt float64) (*pdn.TransferSet, error) {
+	d.mu.Lock()
+	key := transferKey{cores: d.poweredCores, n: n, dt: dt}
+	if ts, ok := d.transfers[key]; ok {
+		d.mu.Unlock()
+		return ts, nil
+	}
+	d.mu.Unlock()
+
+	m, err := d.Model()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := m.Transfers(n, dt)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.transfers[key] = ts
+	d.mu.Unlock()
+	return ts, nil
+}

@@ -1,0 +1,130 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/power"
+	"repro/internal/uarch"
+)
+
+// Load is a stress workload bound to a domain: one instruction loop run in
+// lockstep on ActiveCores cores. Powered-but-idle cores contribute their
+// idle current; power-gated cores contribute nothing (and their absence
+// also raises the PDN resonance via the die-capacitance model).
+type Load struct {
+	Seq         []isa.Inst
+	ActiveCores int
+	// PhaseCycles optionally staggers the active cores (empty = aligned).
+	PhaseCycles []float64
+}
+
+// Validate reports the first problem with the load for this domain.
+func (d *Domain) validateLoad(l Load) error {
+	if len(l.Seq) == 0 {
+		return fmt.Errorf("platform: %s: empty workload", d.Spec.Name)
+	}
+	if l.ActiveCores < 1 || l.ActiveCores > d.PoweredCores() {
+		return fmt.Errorf("platform: %s: %d active cores with %d powered",
+			d.Spec.Name, l.ActiveCores, d.PoweredCores())
+	}
+	return nil
+}
+
+// Current returns the total load current drawn from this domain's rail by
+// the workload, sampled at dt over n points, plus the micro-architectural
+// result for the loop. The current scales with the supply setting
+// (dynamic charge is proportional to voltage).
+func (d *Domain) Current(l Load, dt float64, n int) ([]float64, *uarch.Result, error) {
+	if err := d.validateLoad(l); err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
+	d.mu.Unlock()
+
+	cl := power.ClusterLoad{
+		Core:        d.Spec.Core,
+		Seq:         l.Seq,
+		ClockHz:     clock,
+		ActiveCores: l.ActiveCores,
+		PhaseCycles: l.PhaseCycles,
+	}
+	wave, res, err := cl.Current(dt, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	idle := power.IdleCurrent(d.Spec.Core, clock) * float64(powered-l.ActiveCores)
+	scale := supply / d.Spec.PDN.VNominal
+	for i := range wave {
+		wave[i] = (wave[i] + idle) * scale
+	}
+	return wave, res, nil
+}
+
+// SteadyResponse returns the exact periodic steady-state die voltage and
+// package-inductor current under the workload, using cached PDN transfers.
+func (d *Domain) SteadyResponse(l Load, dt float64, n int) (*pdn.Response, *uarch.Result, error) {
+	wave, res, err := d.Current(l, dt, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, err := d.transferSet(n, dt)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := ts.SteadyStateAt(wave, d.SupplyVolts())
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, res, nil
+}
+
+// Spectra returns the single-sided amplitude spectra of the die voltage
+// and package-inductor current under the workload.
+func (d *Domain) Spectra(l Load, dt float64, n int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+	wave, res, err := d.Current(l, dt, n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ts, err := d.transferSet(n, dt)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	freqs, vAmp, iAmp, err = ts.Spectra(wave)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return freqs, vAmp, iAmp, res, nil
+}
+
+// TransientResponse integrates the PDN under the workload's current
+// waveform with the full transient solver — the slower, reference path
+// (the fast SteadyResponse path must agree with it; see the ablation
+// benchmarks).
+func (d *Domain) TransientResponse(l Load, dt float64, n int) (*pdn.Response, *uarch.Result, error) {
+	wave, res, err := d.Current(l, dt, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := d.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	sampled := func(t float64) float64 {
+		idx := int(t / dt)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(wave) {
+			idx = len(wave) - 1
+		}
+		return wave[idx]
+	}
+	resp, err := m.Transient(sampled, dt, n-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, res, nil
+}

@@ -1,0 +1,141 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/em"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/uarch"
+)
+
+// JSON persistence for domain specs, so custom platforms can be described
+// in a file and handed to the CLI tools instead of being compiled in.
+// The wire format names architectures and functional units symbolically.
+
+type specJSON struct {
+	Name              string      `json:"name"`
+	Board             string      `json:"board"`
+	ISA               string      `json:"isa"`
+	PDN               jsonPDN     `json:"pdn"`
+	Core              coreJSON    `json:"core"`
+	TotalCores        int         `json:"total_cores"`
+	MaxClockHz        float64     `json:"max_clock_hz"`
+	ClockStepHz       float64     `json:"clock_step_hz"`
+	VoltageVisibility string      `json:"voltage_visibility"`
+	EMPath            jsonEMPath  `json:"em_path"`
+	Failure           jsonFailure `json:"failure"`
+	TechNode          int         `json:"tech_node_nm"`
+	OS                string      `json:"os"`
+}
+
+// The electrical structs already have exported SI-unit fields and marshal
+// directly.
+type (
+	jsonPDN     = pdn.Params
+	jsonEMPath  = em.Path
+	jsonFailure = FailureParams
+)
+
+type coreJSON struct {
+	Name           string         `json:"name"`
+	OutOfOrder     bool           `json:"out_of_order"`
+	IssueWidth     int            `json:"issue_width"`
+	WindowSize     int            `json:"window_size"`
+	Units          map[string]int `json:"units"`
+	ChargeScale    float64        `json:"charge_scale"`
+	BaseCharge     float64        `json:"base_charge"`
+	IdleSlotCharge float64        `json:"idle_slot_charge"`
+	CurrentSlewTau float64        `json:"current_slew_tau"`
+}
+
+// SaveSpecJSON writes the spec as indented JSON.
+func SaveSpecJSON(w io.Writer, s Spec) error {
+	units := make(map[string]int, isa.NumUnits)
+	for u, n := range s.Core.Units {
+		units[isa.Unit(u).String()] = n
+	}
+	out := specJSON{
+		Name:  s.Name,
+		Board: s.Board,
+		ISA:   s.ISA.String(),
+		PDN:   s.PDN,
+		Core: coreJSON{
+			Name:           s.Core.Name,
+			OutOfOrder:     s.Core.OutOfOrder,
+			IssueWidth:     s.Core.IssueWidth,
+			WindowSize:     s.Core.WindowSize,
+			Units:          units,
+			ChargeScale:    s.Core.ChargeScale,
+			BaseCharge:     s.Core.BaseCharge,
+			IdleSlotCharge: s.Core.IdleSlotCharge,
+			CurrentSlewTau: s.Core.CurrentSlewTau,
+		},
+		TotalCores:        s.TotalCores,
+		MaxClockHz:        s.MaxClockHz,
+		ClockStepHz:       s.ClockStepHz,
+		VoltageVisibility: s.VoltageVisibility,
+		EMPath:            s.EMPath,
+		Failure:           s.Failure,
+		TechNode:          s.TechNode,
+		OS:                s.OS,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("platform: encoding spec: %w", err)
+	}
+	return nil
+}
+
+// LoadSpecJSON parses a spec written by SaveSpecJSON (or by hand) and
+// validates it by constructing a throwaway domain.
+func LoadSpecJSON(r io.Reader) (Spec, error) {
+	var in specJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Spec{}, fmt.Errorf("platform: decoding spec: %w", err)
+	}
+	arch, err := isa.ParseArch(in.ISA)
+	if err != nil {
+		return Spec{}, err
+	}
+	var units [isa.NumUnits]int
+	for name, n := range in.Core.Units {
+		u, err := isa.ParseUnit(name)
+		if err != nil {
+			return Spec{}, err
+		}
+		units[u] = n
+	}
+	s := Spec{
+		Name:  in.Name,
+		Board: in.Board,
+		ISA:   arch,
+		PDN:   in.PDN,
+		Core: uarch.Config{
+			Name:           in.Core.Name,
+			OutOfOrder:     in.Core.OutOfOrder,
+			IssueWidth:     in.Core.IssueWidth,
+			WindowSize:     in.Core.WindowSize,
+			Units:          units,
+			ChargeScale:    in.Core.ChargeScale,
+			BaseCharge:     in.Core.BaseCharge,
+			IdleSlotCharge: in.Core.IdleSlotCharge,
+			CurrentSlewTau: in.Core.CurrentSlewTau,
+		},
+		TotalCores:        in.TotalCores,
+		MaxClockHz:        in.MaxClockHz,
+		ClockStepHz:       in.ClockStepHz,
+		VoltageVisibility: in.VoltageVisibility,
+		EMPath:            in.EMPath,
+		Failure:           in.Failure,
+		TechNode:          in.TechNode,
+		OS:                in.OS,
+	}
+	if _, err := NewDomain(s); err != nil {
+		return Spec{}, fmt.Errorf("platform: loaded spec invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,160 @@
+// Package power converts micro-architectural activity into electrical load:
+// it maps per-cycle switching charge (from internal/uarch) to a current
+// waveform at a given clock frequency, resamples it onto the circuit
+// solver's time grid, and composes multi-core cluster loads.
+//
+// Current model: a cycle that moves charge Q at clock frequency f draws a
+// mean current of Q·f during that cycle. Lowering the clock both stretches
+// the loop period (lowering the loop frequency) and reduces the current
+// amplitude — exactly the coupled modulation the paper's fast resonance
+// sweep (Section 5.3) exploits.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/uarch"
+)
+
+// ClusterLoad describes a homogeneous CPU cluster running one stress loop
+// per active core, all cores clocked together.
+type ClusterLoad struct {
+	Core    uarch.Config
+	Seq     []isa.Inst
+	ClockHz float64
+	// ActiveCores is how many cores run the loop. Idle (but powered)
+	// cores draw only base charge; see IdleCurrent.
+	ActiveCores int
+	// PhaseCycles optionally staggers each active core by a cycle offset.
+	// Empty means all cores aligned — the worst case a virus targets.
+	PhaseCycles []float64
+}
+
+// Validate reports the first problem with the load description.
+func (cl ClusterLoad) Validate() error {
+	if err := cl.Core.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case len(cl.Seq) == 0:
+		return fmt.Errorf("power: empty stress loop")
+	case cl.ClockHz <= 0 || math.IsNaN(cl.ClockHz) || math.IsInf(cl.ClockHz, 0):
+		return fmt.Errorf("power: invalid clock %v", cl.ClockHz)
+	case cl.ActiveCores < 1:
+		return fmt.Errorf("power: %d active cores", cl.ActiveCores)
+	case len(cl.PhaseCycles) != 0 && len(cl.PhaseCycles) != cl.ActiveCores:
+		return fmt.Errorf("power: %d phase offsets for %d cores", len(cl.PhaseCycles), cl.ActiveCores)
+	}
+	return nil
+}
+
+// Current simulates the loop and returns the cluster current sampled at dt
+// over n samples, together with the micro-architectural result.
+func (cl ClusterLoad) Current(dt float64, n int) ([]float64, *uarch.Result, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if dt <= 0 || n < 1 {
+		return nil, nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
+	}
+	// Longest phase offset extends the needed steady window.
+	maxPhase := 0.0
+	for _, p := range cl.PhaseCycles {
+		if p > maxPhase {
+			maxPhase = p
+		}
+	}
+	window := float64(n) * dt * cl.ClockHz // cycles covered by the sample window
+	minSteady := int(math.Ceil(window+maxPhase)) + 8
+	res, err := uarch.Run(cl.Core, cl.Seq, minSteady)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Period snapping: warp the time base slightly so an integer number of
+	// loop periods fills the window exactly. Downstream FFT analyses then
+	// see a truly periodic signal with no wrap discontinuity (no spectral
+	// leakage splashing into the PDN resonance). The warp is bounded at
+	// 5%; if the window holds less than ~one period, sample unwarped.
+	scale := 1.0
+	if res.LoopCycles > 0 {
+		k := math.Round(window / res.LoopCycles)
+		if k >= 1 {
+			s := k * res.LoopCycles / window
+			if math.Abs(s-1) <= 0.05 {
+				scale = s
+			}
+		}
+	}
+	needed := int(math.Ceil(window*scale+maxPhase)) + 2
+	if steadyLen := len(res.SteadyCharge()); steadyLen < needed {
+		res, err = uarch.Run(cl.Core, cl.Seq, needed)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	steady := res.SteadyCharge()
+	out := make([]float64, n)
+	for core := 0; core < cl.ActiveCores; core++ {
+		phase := 0.0
+		if len(cl.PhaseCycles) > 0 {
+			phase = cl.PhaseCycles[core]
+		}
+		for i := 0; i < n; i++ {
+			cyc := float64(i)*dt*scale*cl.ClockHz + phase
+			idx := int(cyc)
+			if idx >= len(steady) {
+				idx = len(steady) - 1
+			}
+			out[i] += steady[idx] * cl.ClockHz
+		}
+	}
+	applySlew(out, dt, cl.Core.CurrentSlewTau)
+	return out, res, nil
+}
+
+// applySlew low-passes a (periodic) current waveform in place with the
+// core's current-ramp time constant. The filter is warmed by one silent
+// pass over the buffer so the periodic waveform has no startup transient.
+func applySlew(wave []float64, dt, tau float64) {
+	if tau <= 0 || len(wave) == 0 {
+		return
+	}
+	alpha := 1 - math.Exp(-dt/tau)
+	acc := wave[0]
+	for _, v := range wave {
+		acc += alpha * (v - acc)
+	}
+	for i, v := range wave {
+		acc += alpha * (v - acc)
+		wave[i] = acc
+	}
+}
+
+// IdleCurrent returns the current drawn by one powered-but-idle core at the
+// given clock: the base charge plus all issue slots idle.
+func IdleCurrent(cfg uarch.Config, clockHz float64) float64 {
+	return (cfg.BaseCharge + float64(cfg.IssueWidth)*cfg.IdleSlotCharge) * clockHz
+}
+
+// MeanCurrent returns the time average of a current waveform.
+func MeanCurrent(wave []float64) float64 {
+	if len(wave) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range wave {
+		s += v
+	}
+	return s / float64(len(wave))
+}
+
+// LoopFrequency returns the stress loop's fundamental frequency, the
+// inverse of the steady-state loop period (paper Table 2's "loop freq").
+func LoopFrequency(res *uarch.Result, clockHz float64) float64 {
+	if res.LoopCycles <= 0 {
+		return 0
+	}
+	return clockHz / res.LoopCycles
+}

@@ -1,0 +1,170 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func testSetup(t *testing.T) (*core.Bench, *platform.Domain) {
+	t.Helper()
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBench(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Samples = 3
+	d, err := p.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, d
+}
+
+func buildLoad(t *testing.T, d *platform.Domain, name string) platform.Load {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Build(d.Spec.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.Load{Seq: seq, ActiveCores: 2}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	b, d := testSetup(t)
+	idle, err := Extract(b, d, buildLoad(t, d, "idle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbm, err := Extract(b, d, buildLoad(t, d, "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbm.PeakW <= idle.PeakW || lbm.TotalW <= idle.TotalW {
+		t.Fatalf("lbm features %+v not above idle %+v", lbm, idle)
+	}
+	if lbm.PeakHz < b.Band.Lo || lbm.PeakHz > b.Band.Hi {
+		t.Fatalf("peak frequency %v outside band", lbm.PeakHz)
+	}
+}
+
+func TestCollectSample(t *testing.T) {
+	b, d := testSetup(t)
+	s, err := Collect(b, d, "lbm", buildLoad(t, d, "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lbm" || s.DroopV <= 0 || s.Features.TotalW <= 0 {
+		t.Fatalf("sample %+v", s)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(make([]Sample, 2)); err == nil {
+		t.Error("undersized training set accepted")
+	}
+}
+
+// The headline capability: train on ordinary benchmarks, predict the droop
+// of held-out workloads from EM features alone.
+func TestTrainPredictHeldOut(t *testing.T) {
+	b, d := testSetup(t)
+	trainNames := []string{"idle", "mcf", "povray", "hmmer", "namd", "gcc", "h264ref", "prime95", "milc", "bzip2"}
+	var train []Sample
+	for _, n := range trainNames {
+		s, err := Collect(b, d, n, buildLoad(t, d, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainRMSE > 0.02 {
+		t.Errorf("training RMSE %v V too large", m.TrainRMSE)
+	}
+	// Held out: lbm (the noisiest benchmark) and soplex.
+	var test []Sample
+	for _, n := range []string{"lbm", "soplex"} {
+		s, err := Collect(b, d, n, buildLoad(t, d, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		test = append(test, s)
+	}
+	rmse, worst := m.Evaluate(test)
+	if rmse > 0.02 {
+		t.Errorf("held-out RMSE %v V", rmse)
+	}
+	if worst > 0.035 {
+		t.Errorf("held-out worst error %v V", worst)
+	}
+	// Relative accuracy on the interesting (high-droop) case.
+	lbm := test[0]
+	pred := m.PredictDroop(lbm.Features)
+	if math.Abs(pred-lbm.DroopV) > 0.5*lbm.DroopV {
+		t.Errorf("lbm droop predicted %v, actual %v", pred, lbm.DroopV)
+	}
+}
+
+func TestPredictMargin(t *testing.T) {
+	b, d := testSetup(t)
+	var train []Sample
+	for _, n := range []string{"idle", "mcf", "povray", "lbm", "prime95", "namd"} {
+		s, err := Collect(b, d, n, buildLoad(t, d, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	m, err := Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbmFeats := train[3].Features
+	idleFeats := train[0].Features
+	mLbm := m.PredictMargin(d, lbmFeats)
+	mIdle := m.PredictMargin(d, idleFeats)
+	if mLbm <= 0 || mIdle <= 0 {
+		t.Fatalf("margins %v %v not positive", mLbm, mIdle)
+	}
+	// Noisier workload -> higher V_MIN -> smaller usable margin.
+	if mLbm >= mIdle {
+		t.Fatalf("lbm margin %v not below idle margin %v", mLbm, mIdle)
+	}
+	// Sanity against the true V_MIN model: prediction within 40 mV.
+	trueVmin := d.Spec.Failure.VCritAtMax / (1 - train[3].DroopV/d.Spec.PDN.VNominal)
+	trueMargin := d.Spec.PDN.VNominal - trueVmin
+	if math.Abs(mLbm-trueMargin) > 0.04 {
+		t.Errorf("predicted margin %v vs analytic %v", mLbm, trueMargin)
+	}
+}
+
+func TestPredictDroopNonNegative(t *testing.T) {
+	m := &Model{Coef: [nFeatures]float64{-1, 0, 0}}
+	if got := m.PredictDroop(Features{PeakW: 1e-9, TotalW: 1e-9}); got != 0 {
+		t.Fatalf("negative prediction not clamped: %v", got)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := &Model{}
+	if r, w := m.Evaluate(nil); r != 0 || w != 0 {
+		t.Fatal("empty evaluation not zero")
+	}
+}

@@ -1,0 +1,222 @@
+package uarch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// entry is an in-flight dynamic instruction in the scheduler window.
+type entry struct {
+	inst   isa.Inst
+	prods  [3]int // dynamic indices of producing instructions, -1 if ready
+	nProds int
+	issued bool
+	dyn    int
+}
+
+type sim struct {
+	cfg *Config
+	seq []isa.Inst
+
+	window []entry // oldest first
+	// completeAt[dyn] is the cycle the instruction's result is ready;
+	// -1 while not yet issued.
+	completeAt []int
+	// lastWriter[regfile][reg] is the dynamic index of the latest writer.
+	lastWriter [2][]int
+	// unitBusyUntil[unit][instance] is the first free cycle of that unit.
+	unitBusyUntil [isa.NumUnits][]int
+
+	charge  []float64
+	cycle   int
+	fetched int
+	issued  int
+
+	iterStarts []int // fetch cycle of each iteration's first instruction
+}
+
+func newSim(cfg *Config, seq []isa.Inst) *sim {
+	s := &sim{cfg: cfg, seq: seq, completeAt: make([]int, 0, 4096)}
+	for f := range s.lastWriter {
+		s.lastWriter[f] = make([]int, 64)
+		for i := range s.lastWriter[f] {
+			s.lastWriter[f][i] = -1
+		}
+	}
+	for u := range s.unitBusyUntil {
+		s.unitBusyUntil[u] = make([]int, cfg.Units[u])
+	}
+	return s
+}
+
+// addCharge accumulates q coulombs per cycle over [from, from+cycles).
+func (s *sim) addCharge(from, cycles int, q float64) {
+	for len(s.charge) < from+cycles {
+		s.charge = append(s.charge, 0)
+	}
+	for c := from; c < from+cycles; c++ {
+		s.charge[c] += q
+	}
+}
+
+// fetch renames and inserts up to IssueWidth instructions into the window.
+func (s *sim) fetch() {
+	for n := 0; n < s.cfg.IssueWidth && len(s.window) < s.cfg.WindowSize; n++ {
+		pos := s.fetched % len(s.seq)
+		if pos == 0 {
+			s.iterStarts = append(s.iterStarts, s.cycle)
+		}
+		in := s.seq[pos]
+		e := entry{inst: in, dyn: s.fetched}
+		rf := int(in.Def.RegFile)
+		for _, src := range in.Sources() {
+			if w := s.lastWriter[rf][src]; w >= 0 {
+				e.prods[e.nProds] = w
+				e.nProds++
+			}
+		}
+		if !in.Def.NoDest {
+			s.lastWriter[rf][in.Dest] = s.fetched
+		}
+		s.completeAt = append(s.completeAt, -1)
+		s.window = append(s.window, e)
+		s.fetched++
+	}
+}
+
+// ready reports whether all producers of e have completed by cycle.
+func (s *sim) ready(e *entry) bool {
+	for i := 0; i < e.nProds; i++ {
+		c := s.completeAt[e.prods[i]]
+		if c < 0 || c > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// claimUnit finds a free instance of unit u and marks it busy for block
+// cycles; it reports whether one was available.
+func (s *sim) claimUnit(u isa.Unit, block int) bool {
+	for i, busyUntil := range s.unitBusyUntil[u] {
+		if busyUntil <= s.cycle {
+			s.unitBusyUntil[u][i] = s.cycle + block
+			return true
+		}
+	}
+	return false
+}
+
+// issue dispatches up to IssueWidth ready instructions and returns how many
+// it issued.
+func (s *sim) issue() int {
+	issued := 0
+	for i := range s.window {
+		if issued >= s.cfg.IssueWidth {
+			break
+		}
+		e := &s.window[i]
+		if e.issued {
+			continue
+		}
+		canIssue := s.ready(e) && s.claimUnitProbe(e.inst.Def.Unit)
+		if !canIssue {
+			if s.cfg.OutOfOrder {
+				continue
+			}
+			break // in-order: a stalled instruction blocks younger ones
+		}
+		d := e.inst.Def
+		if !s.claimUnit(d.Unit, d.Block) {
+			if s.cfg.OutOfOrder {
+				continue
+			}
+			break
+		}
+		e.issued = true
+		s.completeAt[e.dyn] = s.cycle + d.Latency
+		s.addCharge(s.cycle, d.Block, d.Charge*s.cfg.ChargeScale)
+		s.issued++
+		issued++
+	}
+	return issued
+}
+
+// claimUnitProbe reports whether a unit instance is free without claiming.
+func (s *sim) claimUnitProbe(u isa.Unit) bool {
+	for _, busyUntil := range s.unitBusyUntil[u] {
+		if busyUntil <= s.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// retire removes completed instructions from the head of the window.
+func (s *sim) retire() {
+	n := 0
+	for n < len(s.window) && n < 2*s.cfg.IssueWidth {
+		e := &s.window[n]
+		if !e.issued || s.completeAt[e.dyn] > s.cycle {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		s.window = s.window[n:]
+	}
+}
+
+func (s *sim) run(minSteadyCycles int) (*Result, error) {
+	warmupCycle := -1
+	issuedAtWarmup := 0
+	limit := minSteadyCycles*64 + 100000
+	for {
+		if s.cycle > limit {
+			return nil, fmt.Errorf("uarch: simulation did not reach steady state within %d cycles", limit)
+		}
+		s.retire()
+		issued := s.issue()
+		s.fetch()
+		if warmupCycle < 0 && len(s.iterStarts) > warmupIters {
+			warmupCycle = s.iterStarts[warmupIters]
+			issuedAtWarmup = s.issued
+		}
+		s.addCharge(s.cycle, 1, s.cfg.BaseCharge+float64(s.cfg.IssueWidth-issued)*s.cfg.IdleSlotCharge)
+		s.cycle++
+		if warmupCycle >= 0 && s.cycle-warmupCycle >= minSteadyCycles {
+			break
+		}
+	}
+	// Truncate in-flight charge beyond the final simulated cycle so the
+	// trace length equals the cycle count.
+	if len(s.charge) > s.cycle {
+		s.charge = s.charge[:s.cycle]
+	}
+	iters := len(s.iterStarts)
+	res := &Result{
+		Config:     s.cfg,
+		Charge:     s.charge,
+		Warmup:     warmupCycle,
+		Iterations: iters,
+	}
+	// Steady-state cycles per iteration from fetch timestamps. The last
+	// few iterations are excluded: fetch runs ahead of issue by the window
+	// occupancy, and occupancy drift at the very end of the run would bias
+	// the average.
+	last := len(s.iterStarts) - 1
+	if last-4 > warmupIters {
+		last -= 4
+	}
+	if last > warmupIters {
+		res.LoopCycles = float64(s.iterStarts[last]-s.iterStarts[warmupIters]) / float64(last-warmupIters)
+	} else {
+		res.LoopCycles = float64(s.cycle) / float64(iters)
+	}
+	steadyCycles := s.cycle - warmupCycle
+	if steadyCycles > 0 {
+		res.IPC = float64(s.issued-issuedAtWarmup) / float64(steadyCycles)
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package vmin
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// ShmooPoint is one operating point of a frequency/voltage shmoo.
+type ShmooPoint struct {
+	ClockHz float64
+	VminV   float64
+	MarginV float64
+	Outcome FailureKind
+}
+
+// Shmoo sweeps the domain clock across the given settings and runs a V_MIN
+// search at each, producing the classic post-silicon shmoo curve: the
+// frequency/voltage boundary of stable operation for one workload. The
+// domain's clock is restored afterwards.
+func (t *Tester) Shmoo(load platform.Load, clocks []float64) ([]ShmooPoint, error) {
+	if len(clocks) == 0 {
+		return nil, fmt.Errorf("vmin: shmoo needs at least one clock setting")
+	}
+	original := t.Domain.ClockHz()
+	defer func() { _ = t.Domain.SetClockHz(original) }()
+
+	out := make([]ShmooPoint, 0, len(clocks))
+	for _, clock := range clocks {
+		if err := t.Domain.SetClockHz(clock); err != nil {
+			return nil, err
+		}
+		res, err := t.Search(load)
+		if err != nil {
+			return nil, fmt.Errorf("vmin: shmoo at %v Hz: %w", clock, err)
+		}
+		out = append(out, ShmooPoint{
+			ClockHz: t.Domain.ClockHz(),
+			VminV:   res.VminV,
+			MarginV: res.MarginV,
+			Outcome: res.Outcome,
+		})
+	}
+	return out, nil
+}
+
+// ShmooMonotone reports whether V_MIN is non-increasing as the clock drops
+// (the physically expected shape: slower clocks tolerate lower voltage),
+// allowing `slackV` of measurement jitter. The input must be ordered from
+// the highest clock to the lowest.
+func ShmooMonotone(points []ShmooPoint, slackV float64) bool {
+	for i := 1; i < len(points); i++ {
+		if points[i].VminV > points[i-1].VminV+slackV {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+// Package vmin implements the paper's V_MIN methodology (Section 5.2): run
+// a workload, lower the supply in fixed steps from a safe voltage, and
+// report the highest voltage at which any deviation from nominal execution
+// is observed — silent data corruption (SDC), an application crash, or a
+// system crash.
+//
+// Failure model: logic fails when the worst instantaneous die voltage under
+// the workload falls below a clock-dependent critical voltage
+// vcrit(f) = VCritAtMax - SlackPerHz·(fmax - f). Just above the outright
+// crash point there is a narrow band (the paper observes ~10 mV) where SDC
+// and application crashes appear first. A small per-trial jitter on the
+// threshold reproduces the run-to-run spread that makes the paper repeat
+// each virus measurement 30 times.
+package vmin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// FailureKind classifies the outcome of one execution.
+type FailureKind int
+
+// Outcomes, from benign to fatal.
+const (
+	Pass FailureKind = iota
+	SDC
+	AppCrash
+	SystemCrash
+)
+
+// String returns a human-readable outcome name.
+func (k FailureKind) String() string {
+	switch k {
+	case Pass:
+		return "pass"
+	case SDC:
+		return "sdc"
+	case AppCrash:
+		return "app-crash"
+	case SystemCrash:
+		return "system-crash"
+	default:
+		return fmt.Sprintf("failure(%d)", int(k))
+	}
+}
+
+// Tester runs V_MIN searches against one voltage domain.
+type Tester struct {
+	Domain *platform.Domain
+	// Dt and N set the electrical analysis grid (dt per sample, N samples).
+	Dt float64
+	N  int
+	// ThresholdJitterV is the sigma of the per-trial critical-voltage
+	// jitter.
+	ThresholdJitterV float64
+
+	rng *rand.Rand
+}
+
+// NewTester returns a tester with the default analysis grid.
+func NewTester(d *platform.Domain, seed int64) *Tester {
+	return &Tester{
+		Domain:           d,
+		Dt:               0.25e-9,
+		N:                8192,
+		ThresholdJitterV: 1.5e-3,
+		rng:              rand.New(rand.NewSource(seed)),
+	}
+}
+
+// VCrit returns the domain's critical voltage at its current clock.
+func (t *Tester) VCrit() float64 {
+	spec := t.Domain.Spec
+	return spec.Failure.VCritAtMax - spec.Failure.SlackPerHz*(spec.MaxClockHz-t.Domain.ClockHz())
+}
+
+// Trial is one execution at one supply setting.
+type Trial struct {
+	SupplyV  float64
+	MinVDie  float64
+	DroopV   float64
+	Outcome  FailureKind
+	VCritEff float64 // the jittered threshold used for this trial
+}
+
+// RunAt executes the workload once at the given supply and classifies the
+// outcome.
+func (t *Tester) RunAt(load platform.Load, supply float64) (Trial, error) {
+	prior := t.Domain.SupplyVolts()
+	if err := t.Domain.SetSupplyVolts(supply); err != nil {
+		return Trial{}, err
+	}
+	// Restore only the supply: V_MIN campaigns run at whatever clock and
+	// powered-core configuration the caller has set up (e.g. a shmoo).
+	defer func() { _ = t.Domain.SetSupplyVolts(prior) }()
+	resp, _, err := t.Domain.SteadyResponse(load, t.Dt, t.N)
+	if err != nil {
+		return Trial{}, err
+	}
+	minV := resp.MinVoltage()
+	vcrit := t.VCrit() + t.rng.NormFloat64()*t.ThresholdJitterV
+	tr := Trial{
+		SupplyV:  supply,
+		MinVDie:  minV,
+		DroopV:   resp.MaxDroop(supply),
+		VCritEff: vcrit,
+	}
+	sdcBand := t.Domain.Spec.Failure.SDCBand
+	switch {
+	case minV < vcrit:
+		tr.Outcome = SystemCrash
+	case minV < vcrit+sdcBand:
+		// In the marginal band, lighter failures surface first.
+		if t.rng.Intn(2) == 0 {
+			tr.Outcome = SDC
+		} else {
+			tr.Outcome = AppCrash
+		}
+	default:
+		tr.Outcome = Pass
+	}
+	return tr, nil
+}
+
+// Result is a completed V_MIN search.
+type Result struct {
+	// VminV is the highest supply at which any deviation was observed.
+	VminV float64
+	// Outcome is the deviation kind observed at VminV.
+	Outcome FailureKind
+	// MarginV is nominal voltage minus VminV (Table 2's voltage margin).
+	MarginV float64
+	// DroopNominalV is the workload's worst droop at nominal supply
+	// (Figure 10's red curve).
+	DroopNominalV float64
+	// Trials records every step of the descent.
+	Trials []Trial
+}
+
+// Search lowers the supply from the domain's nominal voltage in the
+// board's V_MIN step size until a deviation is observed.
+func (t *Tester) Search(load platform.Load) (*Result, error) {
+	spec := t.Domain.Spec
+	step := spec.VminStepVolts()
+	nominal := spec.PDN.VNominal
+
+	// Droop at nominal conditions first.
+	nomTrial, err := t.RunAt(load, nominal)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{DroopNominalV: nomTrial.DroopV}
+
+	maxSteps := int(nominal/step) + 1
+	for i := 0; i <= maxSteps; i++ {
+		supply := nominal - float64(i)*step
+		if supply <= 0 {
+			return nil, fmt.Errorf("vmin: %s: no failure found down to 0V (model miscalibrated?)", spec.Name)
+		}
+		tr, err := t.RunAt(load, supply)
+		if err != nil {
+			return nil, err
+		}
+		res.Trials = append(res.Trials, tr)
+		if tr.Outcome != Pass {
+			res.VminV = supply
+			res.Outcome = tr.Outcome
+			res.MarginV = nominal - supply
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("vmin: %s: search exhausted", spec.Name)
+}
+
+// Repeat performs n independent V_MIN searches (the paper runs 30 per
+// virus) and returns the per-run V_MIN values plus the worst (highest).
+func (t *Tester) Repeat(load platform.Load, n int) (worst *Result, all []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("vmin: need at least 1 repetition")
+	}
+	for i := 0; i < n; i++ {
+		r, err := t.Search(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, r.VminV)
+		if worst == nil || r.VminV > worst.VminV {
+			worst = r
+		}
+	}
+	return worst, all, nil
+}

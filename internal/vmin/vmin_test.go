@@ -1,0 +1,185 @@
+package vmin
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func a72Domain(t *testing.T) *platform.Domain {
+	t.Helper()
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func load(t *testing.T, d *platform.Domain, name string, cores int) platform.Load {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Build(d.Spec.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.Load{Seq: seq, ActiveCores: cores}
+}
+
+func TestFailureKindString(t *testing.T) {
+	cases := map[FailureKind]string{
+		Pass: "pass", SDC: "sdc", AppCrash: "app-crash", SystemCrash: "system-crash",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", k, got)
+		}
+	}
+	if got := FailureKind(9).String(); got != "failure(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestVCritTracksClock(t *testing.T) {
+	d := a72Domain(t)
+	tst := NewTester(d, 1)
+	atMax := tst.VCrit()
+	if err := d.SetClockHz(600e6); err != nil {
+		t.Fatal(err)
+	}
+	atHalf := tst.VCrit()
+	d.Reset()
+	if atHalf >= atMax {
+		t.Fatalf("vcrit did not drop with clock: %v vs %v", atHalf, atMax)
+	}
+	want := d.Spec.Failure.VCritAtMax - d.Spec.Failure.SlackPerHz*(1.2e9-600e6)
+	if math.Abs(atHalf-want) > 1e-12 {
+		t.Fatalf("vcrit = %v, want %v", atHalf, want)
+	}
+}
+
+func TestRunAtClassifies(t *testing.T) {
+	d := a72Domain(t)
+	tst := NewTester(d, 2)
+	tst.ThresholdJitterV = 0 // deterministic classification
+	l := load(t, d, "lbm", 2)
+
+	pass, err := tst.RunAt(l, d.Spec.PDN.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.Outcome != Pass {
+		t.Fatalf("nominal run outcome %v", pass.Outcome)
+	}
+	if pass.DroopV <= 0 {
+		t.Fatal("no droop recorded")
+	}
+	// Far below vcrit: certain system crash.
+	crash, err := tst.RunAt(l, tst.VCrit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash.Outcome != SystemCrash {
+		t.Fatalf("outcome at vcrit supply = %v, want system-crash", crash.Outcome)
+	}
+	if crash.MinVDie >= pass.MinVDie {
+		t.Fatal("min die voltage did not drop with supply")
+	}
+}
+
+func TestSearchFindsVmin(t *testing.T) {
+	d := a72Domain(t)
+	tst := NewTester(d, 3)
+	l := load(t, d, "lbm", 2)
+	res, err := tst.Search(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := d.Spec.PDN.VNominal
+	if res.VminV <= 0 || res.VminV >= nominal {
+		t.Fatalf("Vmin = %v", res.VminV)
+	}
+	if math.Abs(res.MarginV-(nominal-res.VminV)) > 1e-12 {
+		t.Fatalf("margin inconsistent: %v vs %v", res.MarginV, nominal-res.VminV)
+	}
+	if res.Outcome == Pass {
+		t.Fatal("search ended on a pass")
+	}
+	if res.DroopNominalV <= 0 {
+		t.Fatal("no nominal droop recorded")
+	}
+	// All but the last trial passed.
+	for i, tr := range res.Trials[:len(res.Trials)-1] {
+		if tr.Outcome != Pass {
+			t.Fatalf("trial %d failed early at %vV", i, tr.SupplyV)
+		}
+	}
+	// Vmin is on the board's step grid.
+	step := d.Spec.VminStepVolts()
+	steps := (nominal - res.VminV) / step
+	if math.Abs(steps-math.Round(steps)) > 1e-9 {
+		t.Fatalf("Vmin %v not on the %v step grid", res.VminV, step)
+	}
+}
+
+func TestVminOrderingAcrossWorkloads(t *testing.T) {
+	// A high-droop workload must have a V_MIN at least as high as idle,
+	// and its droop must be strictly larger.
+	d := a72Domain(t)
+	tst := NewTester(d, 4)
+	tst.ThresholdJitterV = 0
+	lbm, err := tst.Search(load(t, d, "lbm", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := tst.Search(load(t, d, "idle", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbm.DroopNominalV <= idle.DroopNominalV {
+		t.Fatalf("lbm droop %v not above idle droop %v", lbm.DroopNominalV, idle.DroopNominalV)
+	}
+	if lbm.VminV < idle.VminV {
+		t.Fatalf("lbm Vmin %v below idle Vmin %v", lbm.VminV, idle.VminV)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	d := a72Domain(t)
+	tst := NewTester(d, 5)
+	l := load(t, d, "lbm", 2)
+	worst, all, err := tst.Repeat(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("got %d repetitions", len(all))
+	}
+	for _, v := range all {
+		if v > worst.VminV {
+			t.Fatalf("Repeat worst %v below a sample %v", worst.VminV, v)
+		}
+	}
+	if _, _, err := tst.Repeat(l, 0); err == nil {
+		t.Fatal("0 repetitions accepted")
+	}
+}
+
+func TestSearchRestoresDomainState(t *testing.T) {
+	d := a72Domain(t)
+	tst := NewTester(d, 6)
+	if _, err := tst.Search(load(t, d, "idle", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d.SupplyVolts() != d.Spec.PDN.VNominal {
+		t.Fatalf("supply left at %v", d.SupplyVolts())
+	}
+}

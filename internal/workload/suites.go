@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// SPECSuite returns the SPEC2006 proxies used on the ARM clusters. Each
+// proxy's loop reproduces the benchmark's electrical character:
+//
+//   - lbm: streaming stencil — bursts of loads/stores and FP interleaved,
+//     the largest droop of the suite (the paper's reference point).
+//   - mcf: pointer chasing — dependence-bound loads, low IPC, low current.
+//   - povray/namd: FP/SIMD dense, high sustained current, little
+//     modulation.
+//   - hmmer/h264ref: integer dense, high IPC.
+//   - bzip2/gcc: mixed integer with memory traffic and stalls.
+//   - soplex/milc: FP plus memory with some burstiness.
+func SPECSuite() []Workload {
+	return []Workload{
+		spec("lbm", "streaming LBM stencil (memory+FP bursts)", buildLbm),
+		spec("mcf", "pointer-chasing (dependence-bound loads)", buildMcf),
+		spec("povray", "ray tracing (dense FP)", buildFPDense(10, 0)),
+		spec("namd", "molecular dynamics (dense SIMD)", buildFPDense(6, 6)),
+		spec("hmmer", "profile HMM search (dense integer)", buildIntDense(12, 0)),
+		spec("h264ref", "video encode (integer+SIMD)", buildIntDense(8, 4)),
+		spec("bzip2", "compression (integer+memory, stalls)", buildMixedMem(14, 4, 1)),
+		spec("gcc", "compiler (branchy integer+memory)", buildMixedMem(10, 4, 0)),
+		spec("soplex", "LP solver (FP+memory)", buildFPMem(6, 4)),
+		spec("milc", "lattice QCD (FP+memory bursts)", buildFPMem(8, 6)),
+	}
+}
+
+// DesktopSuite returns the Windows desktop workloads of the AMD evaluation
+// (Figure 18), including the Prime95 and AMD Overdrive stability tests the
+// paper's virus beats.
+func DesktopSuite() []Workload {
+	return []Workload{
+		spec("prime95", "mersenne FFT torture test (sustained FP/SIMD power)", buildPowerVirus(16)),
+		spec("amd-stability", "AMD Overdrive stability test (sustained mixed power)", buildPowerVirus(12)),
+		spec("blender", "3D render (FP with memory)", buildFPMem(10, 4)),
+		spec("cinebench", "CPU render benchmark (dense FP/SIMD)", buildFPDense(8, 8)),
+		spec("euler3d", "CFD solver (FP+memory)", buildFPMem(8, 6)),
+		spec("webxprt", "browser workload mix (light branchy integer)", buildMixedMem(6, 2, 0)),
+		spec("geekbench", "mixed benchmark suite", buildMixedMem(8, 4, 1)),
+	}
+}
+
+// All returns every named workload, including idle and the probe loop.
+func All() []Workload {
+	out := []Workload{Idle(), Probe()}
+	out = append(out, SPECSuite()...)
+	out = append(out, DesktopSuite()...)
+	return out
+}
+
+// ByName looks a workload up across All.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+func spec(name, desc string, build func(p *isa.Pool) ([]isa.Inst, error)) Workload {
+	return Workload{Name: name, Description: desc, Build: build}
+}
+
+// buildLbm: a streaming stencil whose sweep structure alternates a
+// memory/SIMD burst with a serial FP reduction chain. The chain threads
+// iterations (same register), so even an out-of-order core settles into a
+// periodic high/low current pattern in the tens of MHz — lbm is the
+// noisiest SPEC workload in the paper's Figure 10 for exactly this kind of
+// reason.
+func buildLbm(p *isa.Pool) ([]isa.Inst, error) {
+	b := newSeqBuilder(p)
+	for i := 0; i < 6; i++ {
+		b.indep(b.def(aliasLoad(p)))
+	}
+	for i := 0; i < 4; i++ {
+		b.indep(b.def(aliasVMul(p)))
+	}
+	for i := 0; i < 2; i++ {
+		b.indep(b.def(aliasFMul(p)))
+	}
+	for i := 0; i < 3; i++ {
+		b.indep(b.def(aliasStore(p)))
+	}
+	// Serial reduction spine: 4 dependent FP adds bound the iteration
+	// rate and create the low-current phase. The resulting ~100 MHz sweep
+	// rhythm sits on the shoulder of the A72's 67 MHz resonance — noisy,
+	// but clearly short of a deliberately tuned virus.
+	for i := 0; i < 4; i++ {
+		b.chain(b.def(aliasFAdd(p)), 1)
+	}
+	return b.build()
+}
+
+// buildMcf: serial dependent loads — low, flat current.
+func buildMcf(p *isa.Pool) ([]isa.Inst, error) {
+	b := newSeqBuilder(p)
+	for i := 0; i < 10; i++ {
+		b.chain(b.def(aliasLoad(p)), 2)
+		b.chain(b.def(want(p, "add")), 2)
+	}
+	return b.build()
+}
+
+// buildFPDense: nFP scalar FP ops and nSIMD vector ops, all independent —
+// high sustained current with minimal modulation.
+func buildFPDense(nFP, nSIMD int) func(p *isa.Pool) ([]isa.Inst, error) {
+	return func(p *isa.Pool) ([]isa.Inst, error) {
+		b := newSeqBuilder(p)
+		for i := 0; i < nFP; i++ {
+			if i%2 == 0 {
+				b.indep(b.def(aliasFMul(p)))
+			} else {
+				b.indep(b.def(aliasFAdd(p)))
+			}
+		}
+		for i := 0; i < nSIMD; i++ {
+			if i%2 == 0 {
+				b.indep(b.def(aliasVMul(p)))
+			} else {
+				b.indep(b.def(aliasVAdd(p)))
+			}
+		}
+		return b.build()
+	}
+}
+
+// buildIntDense: independent integer ops with optional SIMD sprinkling.
+func buildIntDense(nInt, nSIMD int) func(p *isa.Pool) ([]isa.Inst, error) {
+	return func(p *isa.Pool) ([]isa.Inst, error) {
+		b := newSeqBuilder(p)
+		for i := 0; i < nInt; i++ {
+			switch i % 3 {
+			case 0:
+				b.indep(b.def(want(p, "add")))
+			case 1:
+				b.indep(b.def(want(p, "sub")))
+			default:
+				b.indep(b.def(aliasMul(p)))
+			}
+		}
+		for i := 0; i < nSIMD; i++ {
+			b.indep(b.def(aliasVAdd(p)))
+		}
+		return b.build()
+	}
+}
+
+// buildMixedMem: integer work with memory traffic and nDiv long stalls.
+func buildMixedMem(nInt, nMem, nDiv int) func(p *isa.Pool) ([]isa.Inst, error) {
+	return func(p *isa.Pool) ([]isa.Inst, error) {
+		b := newSeqBuilder(p)
+		for i := 0; i < nInt; i++ {
+			b.indep(b.def(want(p, "add")))
+		}
+		for i := 0; i < nMem; i++ {
+			if i%2 == 0 {
+				b.indep(b.def(aliasLoad(p)))
+			} else {
+				b.indep(b.def(aliasStore(p)))
+			}
+		}
+		for i := 0; i < nDiv; i++ {
+			b.chain(b.def(aliasDiv(p)), 7)
+		}
+		return b.build()
+	}
+}
+
+// buildFPMem: FP compute over memory operands.
+func buildFPMem(nFP, nMem int) func(p *isa.Pool) ([]isa.Inst, error) {
+	return func(p *isa.Pool) ([]isa.Inst, error) {
+		b := newSeqBuilder(p)
+		for i := 0; i < nMem; i++ {
+			b.indep(b.def(aliasLoad(p)))
+		}
+		for i := 0; i < nFP; i++ {
+			if i%2 == 0 {
+				b.indep(b.def(aliasFAdd(p)))
+			} else {
+				b.indep(b.def(aliasFMul(p)))
+			}
+		}
+		return b.build()
+	}
+}
+
+// buildPowerVirus: maximum sustained switching — wide SIMD and memory kept
+// saturated with no stalls. Stresses IR drop but produces little resonant
+// dI/dt, which is exactly why the paper's viruses beat Prime95-class tests.
+func buildPowerVirus(n int) func(p *isa.Pool) ([]isa.Inst, error) {
+	return func(p *isa.Pool) ([]isa.Inst, error) {
+		b := newSeqBuilder(p)
+		for i := 0; i < n; i++ {
+			switch i % 4 {
+			case 0:
+				b.indep(b.def(aliasVMul(p)))
+			case 1:
+				b.indep(b.def(aliasVAdd(p)))
+			case 2:
+				b.indep(b.def(aliasFMul(p)))
+			default:
+				b.indep(b.def(aliasLoad(p)))
+			}
+		}
+		return b.build()
+	}
+}
