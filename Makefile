@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fmt
+
+all: build test
+
+# Tier-1: the repository's baseline gate.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Tier-2: vet plus the race detector over the full module. The concurrent
+# paths (GA worker pool, parallel sweeps/shmoos, the spectra cache and the
+# FFT plan caches) must stay race-clean.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	gofmt -l .

@@ -218,16 +218,19 @@ func BenchmarkAblationSampleCount(b *testing.B) {
 	}
 	for _, samples := range []int{1, 5, 30} {
 		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
-			bench, err := NewBench(plat, 99)
-			if err != nil {
-				b.Fatal(err)
-			}
-			bench.Samples = samples
 			var noise float64
 			for i := 0; i < b.N; i++ {
 				const reps = 12
 				vals := make([]float64, reps)
 				for r := 0; r < reps; r++ {
+					// Measurement noise is a pure function of (seed,
+					// content), so repeated measurements only spread when
+					// the analyzer seed differs per repetition.
+					bench, err := NewBench(plat, 99+int64(r))
+					if err != nil {
+						b.Fatal(err)
+					}
+					bench.Samples = samples
 					m, err := bench.EMMeasure(d, Load{Seq: seq, ActiveCores: 2})
 					if err != nil {
 						b.Fatal(err)
@@ -322,6 +325,71 @@ func BenchmarkGAEvaluation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGAEvaluationParallel runs a fixed GA evaluation budget at
+// increasing worker counts. The results are bit-identical at every setting
+// (the determinism regression tests enforce it); only the wall clock
+// changes. On a >=4-core machine j=4 should be at least 2x faster than j=1.
+func BenchmarkGAEvaluationParallel(b *testing.B) {
+	plat, err := JunoR2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := NewBench(plat, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench.Samples = 3
+	d, err := plat.Domain(DomainA72)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := bench.EMMeasurer(d, 2)
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := ga.DefaultConfig(d.Spec.Pool())
+				cfg.PopulationSize, cfg.Generations, cfg.Seed = 24, 3, 11
+				cfg.Parallelism = j
+				if _, err := ga.Run(cfg, m, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastSweepParallel times the fast resonance sweep at increasing
+// worker counts; every clock point is independent, so the sweep scales to
+// the number of points.
+func BenchmarkFastSweepParallel(b *testing.B) {
+	plat, err := JunoR2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := NewBench(plat, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench.Samples = 3
+	d, err := plat.Domain(DomainA72)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			bench.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.FastResonanceSweep(d, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	bench.Parallelism = 0
 }
 
 var _ = platform.DomainA72

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,8 @@ func main() {
 		remote  = flag.String("remote", "", "labtarget address for remote measurement")
 		islands = flag.Int("islands", 1, "island-model populations (1 = classic single population)")
 		sess    = flag.String("session", "", "write a JSON session report to this file")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel fitness evaluations (results are identical at any setting)")
+		verbose = flag.Bool("v", false, "print evaluation statistics (spectra cache hits/misses)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,12 @@ func main() {
 	cfg.Generations = *gens
 	cfg.SeqLen = *seqLen
 	cfg.Seed = *seed
+	cfg.Parallelism = *jobs
+	if *remote != "" && *jobs > 1 {
+		// The lab client is a single stateful connection; measurements
+		// must stay serial.
+		cfg.Parallelism = 1
+	}
 
 	measurer, cleanup, err := buildMeasurer(p, d, *metric, *cores, *samples, *seed, *remote)
 	if err != nil {
@@ -92,6 +101,15 @@ func main() {
 	}
 	fmt.Printf("done in %v: best fitness %.2f, dominant %.2f MHz\n",
 		time.Since(start).Round(time.Millisecond), res.Best.Fitness, res.Best.DominantHz/1e6)
+	if *verbose {
+		hits, misses := d.SpectraCacheStats()
+		total := hits + misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hits) / float64(total)
+		}
+		fmt.Printf("spectra cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, pct)
+	}
 	if *sess != "" {
 		rep := session.New(p, d, time.Now())
 		rep.SetVirus(pool, res)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -29,6 +30,7 @@ func main() {
 		seed  = flag.Int64("seed", 7, "random seed for all stochastic components")
 		list  = flag.Bool("list", false, "list available experiments")
 		out   = flag.String("out", "", "also write per-experiment reports and a summary.md into this directory")
+		jobs  = flag.Int("j", runtime.NumCPU(), "parallel GA/sweep evaluations (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro: pass -exp <id|all> or -list")
 		os.Exit(2)
 	}
-	ctx, err := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed})
+	ctx, err := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *jobs})
 	if err != nil {
 		fatal(err)
 	}

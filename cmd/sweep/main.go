@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -28,6 +29,7 @@ func main() {
 		active  = flag.Int("active", 1, "cores running the probe loop")
 		seed    = flag.Int64("seed", 1, "random seed")
 		samples = flag.Int("samples", 30, "analyzer sweeps averaged per point")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel sweep points (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func main() {
 		fatal(err)
 	}
 	bench.Samples = *samples
+	bench.Parallelism = *jobs
 
 	res, err := bench.FastResonanceSweep(d, *active)
 	if err != nil {

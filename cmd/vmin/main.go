@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/platform"
@@ -30,6 +31,7 @@ func main() {
 		repeats = flag.Int("repeats", 1, "repetitions per workload (paper uses 30 for viruses)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		shmoo   = flag.Bool("shmoo", false, "sweep the clock and report Vmin per frequency instead")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel shmoo points (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,7 @@ func main() {
 	}
 
 	tester := vmin.NewTester(d, *seed)
+	tester.Parallelism = *jobs
 	if *shmoo {
 		runShmoo(tester, p, d, list, active)
 		return

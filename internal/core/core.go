@@ -48,6 +48,10 @@ type Bench struct {
 	// 1/(N·Dt) bounds the frequency resolution.
 	Dt float64
 	N  int
+	// Parallelism bounds the worker count of the bench's sweeps
+	// (FastResonanceSweep); 0 or 1 runs serially. Results are identical at
+	// any setting.
+	Parallelism int
 }
 
 // NewBench assembles a bench with the paper's defaults: an E4402B-class
@@ -84,6 +88,8 @@ func (b *Bench) Validate() error {
 		return fmt.Errorf("core: %d samples", b.Samples)
 	case b.Dt <= 0 || b.N < 16:
 		return fmt.Errorf("core: invalid analysis grid dt=%v n=%d", b.Dt, b.N)
+	case b.Parallelism < 0:
+		return fmt.Errorf("core: negative parallelism %d", b.Parallelism)
 	}
 	return nil
 }

@@ -109,6 +109,31 @@ func TestFastResonanceSweepA72(t *testing.T) {
 	}
 }
 
+func TestFastSweepPeakIsArgmax(t *testing.T) {
+	b, p := testBench(t)
+	d := dom(t, p, platform.DomainA72)
+	res, err := b.FastResonanceSweep(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PeakLoopHz/PeakDBm must be exactly the argmax over the recorded
+	// points (the loop frequency used to be dropped from the result).
+	bestDBm := math.Inf(-1)
+	bestHz := 0.0
+	for _, pt := range res.Points {
+		if pt.PeakDBm > bestDBm {
+			bestDBm, bestHz = pt.PeakDBm, pt.LoopHz
+		}
+	}
+	if res.PeakDBm != bestDBm || res.PeakLoopHz != bestHz {
+		t.Fatalf("peak (%v Hz, %v dBm) != argmax of points (%v Hz, %v dBm)",
+			res.PeakLoopHz, res.PeakDBm, bestHz, bestDBm)
+	}
+	if res.PeakLoopHz < b.Band.Lo || res.PeakLoopHz > b.Band.Hi {
+		t.Fatalf("peak loop frequency %v outside the search band", res.PeakLoopHz)
+	}
+}
+
 func TestFastResonanceSweepSingleCoreShiftsUp(t *testing.T) {
 	b, p := testBench(t)
 	d := dom(t, p, platform.DomainA72)

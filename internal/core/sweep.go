@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/em"
 	"repro/internal/instrument"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/workload"
@@ -24,10 +25,14 @@ type SweepPoint struct {
 // SweepResult is a completed Section 5.3 fast sweep.
 type SweepResult struct {
 	Points []SweepPoint
-	// ResonanceHz is the loop frequency at which the EM amplitude peaked —
-	// the first-order resonance estimate.
+	// ResonanceHz is the refined first-order resonance estimate: the
+	// power-weighted centroid of the strongest normalized points (see
+	// FastResonanceSweep).
 	ResonanceHz float64
-	PeakDBm     float64
+	// PeakLoopHz and PeakDBm are the raw argmax: the loop frequency of the
+	// sweep point with the strongest received amplitude.
+	PeakLoopHz float64
+	PeakDBm    float64
 }
 
 // FastResonanceSweep implements the Section 5.3 method: run the fixed
@@ -35,7 +40,10 @@ type SweepResult struct {
 // full range (which modulates the loop frequency proportionally), and at
 // each step record the EM amplitude near the loop fundamental. The loop
 // frequency with the strongest emission is the first-order resonance.
-// The domain's clock is restored afterwards.
+// Clock steps are independent operating points evaluated through the
+// stateless SpectraAt path on up to b.Parallelism workers; the domain's
+// clock setting is never touched and results are collected by step index,
+// so serial and parallel sweeps are identical.
 func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepResult, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -44,37 +52,36 @@ func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepR
 	if err != nil {
 		return nil, err
 	}
-	originalClock := d.ClockHz()
-	defer func() { _ = d.SetClockHz(originalClock) }()
 
 	steps := d.ClockSteps()
 	// Sweep descending like the paper (1.2 GHz down to 120 MHz).
 	sort.Sort(sort.Reverse(sort.Float64Slice(steps)))
 
-	res := &SweepResult{}
-	for _, clock := range steps {
-		if err := d.SetClockHz(clock); err != nil {
-			return nil, err
+	// points[i] stays nil when step i's loop frequency falls outside the
+	// search band (only in-band loop frequencies can reveal the resonance).
+	points := make([]*SweepPoint, len(steps))
+	err = par.ForEach(b.Parallelism, len(steps), func(i int) error {
+		clock, err := d.SnapClock(steps[i])
+		if err != nil {
+			return err
 		}
 		l := platform.Load{Seq: probe, ActiveCores: activeCores}
-		freqs, _, iAmp, ur, err := d.Spectra(l, b.Dt, b.N)
+		freqs, _, iAmp, ur, err := d.SpectraAt(l, b.Dt, b.N, clock)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		loopHz := power.LoopFrequency(ur, clock)
 		if loopHz <= 0 {
-			return nil, fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
+			return fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
 		}
-		// Only loop frequencies inside the search band can reveal the
-		// first-order resonance.
 		if loopHz < b.Band.Lo || loopHz > b.Band.Hi {
-			continue
+			return nil
 		}
 		_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
 			{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Measure the spike at the loop fundamental. The band must cover
 		// the analyzer's RBW re-binning: a spike within one FFT bin of the
@@ -84,12 +91,24 @@ func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepR
 		half := b.Analyzer.RBWHz + 2*binW
 		m, err := b.Analyzer.MeasurePeak(freqs, watts, loopHz-half, loopHz+half, b.Samples)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pt := SweepPoint{ClockHz: clock, LoopHz: loopHz, PeakDBm: m.PeakDBm}
-		res.Points = append(res.Points, pt)
-		if len(res.Points) == 1 || pt.PeakDBm > res.PeakDBm {
+		points[i] = &SweepPoint{ClockHz: clock, LoopHz: loopHz, PeakDBm: m.PeakDBm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{PeakDBm: math.Inf(-1)}
+	for _, pt := range points {
+		if pt == nil {
+			continue
+		}
+		res.Points = append(res.Points, *pt)
+		if pt.PeakDBm > res.PeakDBm {
 			res.PeakDBm = pt.PeakDBm
+			res.PeakLoopHz = pt.LoopHz
 		}
 	}
 	if len(res.Points) == 0 {

@@ -1,0 +1,95 @@
+// Package detrand derives deterministic, order-independent random streams
+// from request content. The simulated instruments draw their measurement
+// noise from streams seeded by (instrument seed, content hash of the
+// request) rather than from one shared generator, so the noise a
+// measurement sees depends only on what is being measured — never on how
+// many measurements ran before it or on which goroutine issued it. That is
+// the property that lets the GA evaluate a whole population concurrently
+// and still produce bit-identical results at any parallelism setting.
+package detrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash accumulates a 64-bit FNV-1a content hash.
+type Hash struct {
+	sum uint64
+}
+
+// NewHash returns an empty content hash.
+func NewHash() *Hash { return &Hash{sum: fnvOffset} }
+
+// Uint64 folds an 8-byte value into the hash.
+func (h *Hash) Uint64(v uint64) {
+	s := h.sum
+	for i := 0; i < 8; i++ {
+		s ^= v & 0xff
+		s *= fnvPrime
+		v >>= 8
+	}
+	h.sum = s
+}
+
+// Int folds an integer into the hash.
+func (h *Hash) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Float64 folds the IEEE-754 bits of f into the hash. Note that +0 and -0
+// hash differently; callers that care should normalize first.
+func (h *Hash) Float64(f float64) { h.Uint64(math.Float64bits(f)) }
+
+// Floats folds a slice length and every element into the hash.
+func (h *Hash) Floats(xs []float64) {
+	h.Int(len(xs))
+	for _, x := range xs {
+		h.Float64(x)
+	}
+}
+
+// String folds a length-prefixed string into the hash.
+func (h *Hash) String(s string) {
+	h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.sum = (h.sum ^ uint64(s[i])) * fnvPrime
+	}
+}
+
+// Sum returns the accumulated hash.
+func (h *Hash) Sum() uint64 { return h.sum }
+
+// HashFloats hashes one or more float slices in one call.
+func HashFloats(parts ...[]float64) uint64 {
+	h := NewHash()
+	for _, p := range parts {
+		h.Floats(p)
+	}
+	return h.Sum()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that turns
+// structured inputs (seed, content hash, small indices) into well-spread
+// seeds, so nearby requests get decorrelated streams.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream returns a deterministic random stream derived from the seed and
+// the given parts (typically a content hash plus a sample index). The same
+// inputs always produce the same stream, on any goroutine, in any order.
+func Stream(seed int64, parts ...uint64) *rand.Rand {
+	x := mix64(uint64(seed))
+	for _, p := range parts {
+		x = mix64(x ^ p)
+	}
+	return rand.New(rand.NewSource(int64(x)))
+}

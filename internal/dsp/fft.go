@@ -81,67 +81,25 @@ func fftRadix2(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
+		tw := stageTwiddles(size, inverse)
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+half] * tw[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wBase
 			}
 		}
 	}
 }
 
 // bluestein computes the DFT of arbitrary length via the chirp-z transform,
-// using radix-2 FFTs of length m >= 2n-1.
+// using radix-2 FFTs of length m >= 2n-1. The chirp and filter spectrum
+// come from a cached per-length plan (see plan.go).
 func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = exp(sign * i*pi*k^2/n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for huge n; mod 2n keeps the angle equivalent.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	out := make([]complex128, n)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * scale * chirp[k]
-	}
-	return out
+	return bluesteinPlanFor(len(x), inverse).transform(x)
 }
 
 // AmplitudeSpectrum returns single-sided amplitude estimates for a real

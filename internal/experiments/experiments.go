@@ -24,6 +24,9 @@ type Options struct {
 	Quick bool
 	// Seed makes every stochastic component reproducible.
 	Seed int64
+	// Parallelism bounds the worker count of the GA runs and sweeps; 0 or
+	// 1 runs serially. Results are identical at any setting.
+	Parallelism int
 }
 
 // Result is a completed experiment.
@@ -78,9 +81,11 @@ func NewContext(opts Options) (*Context, error) {
 		return nil, err
 	}
 	if opts.Quick {
-		jb.Samples = 5
-		ab.Samples = 5
+		jb.Samples = 8
+		ab.Samples = 8
 	}
+	jb.Parallelism = opts.Parallelism
+	ab.Parallelism = opts.Parallelism
 	return &Context{
 		Opts:      opts,
 		Juno:      juno,
@@ -95,9 +100,10 @@ func NewContext(opts Options) (*Context, error) {
 func (c *Context) gaConfig(d *platform.Domain) ga.Config {
 	cfg := ga.DefaultConfig(d.Spec.Pool())
 	cfg.Seed = c.Opts.Seed + 10
+	cfg.Parallelism = c.Opts.Parallelism
 	if c.Opts.Quick {
 		cfg.PopulationSize = 20
-		cfg.Generations = 15
+		cfg.Generations = 30
 	}
 	return cfg
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/isa"
+	"repro/internal/par"
 )
 
 // Measurer evaluates one candidate stress loop. Higher fitness is better.
@@ -44,6 +45,14 @@ type Config struct {
 	Crossover Crossover
 	Seed      int64 // RNG seed (the GA itself is deterministic given
 	// the seed and a deterministic Measurer)
+
+	// Parallelism bounds the worker count for fitness evaluation: 0 or 1
+	// evaluates serially, N > 1 uses up to N goroutines, and results are
+	// collected by population index — so any setting yields bit-identical
+	// Results as long as the Measurer is order-independent (the simulated
+	// bench instruments are; see internal/detrand). The Measurer must also
+	// be safe for concurrent use when Parallelism > 1.
+	Parallelism int
 
 	// InitialPopulation optionally seeds the first generation (a
 	// population from a previous run, per Section 3.1); remaining slots
@@ -89,6 +98,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: unknown selection scheme %d", c.Selection)
 	case c.Crossover < OnePoint || c.Crossover > Uniform:
 		return fmt.Errorf("ga: unknown crossover scheme %d", c.Crossover)
+	case c.Parallelism < 0:
+		return fmt.Errorf("ga: negative parallelism %d", c.Parallelism)
 	}
 	for i, seq := range c.InitialPopulation {
 		if len(seq) != c.SeqLen {
@@ -156,7 +167,7 @@ func Run(cfg Config, m Measurer, progress func(GenerationStats)) (*Result, error
 
 	res := &Result{}
 	for gen := 0; gen < cfg.Generations; gen++ {
-		if err := measureAll(pop, m); err != nil {
+		if err := measureAll(pop, m, cfg.Parallelism); err != nil {
 			return nil, fmt.Errorf("ga: generation %d: %w", gen, err)
 		}
 		stats := summarize(gen, pop)
@@ -179,16 +190,20 @@ func Run(cfg Config, m Measurer, progress func(GenerationStats)) (*Result, error
 	return res, nil
 }
 
-func measureAll(pop []Individual, m Measurer) error {
-	for i := range pop {
+// measureAll evaluates the population's fitness on up to parallelism
+// workers. Each worker writes only its own index, and the instruments'
+// noise is order-independent, so the measured population is identical at
+// any worker count.
+func measureAll(pop []Individual, m Measurer, parallelism int) error {
+	return par.ForEach(parallelism, len(pop), func(i int) error {
 		fit, dom, err := m.Measure(pop[i].Seq)
 		if err != nil {
 			return err
 		}
 		pop[i].Fitness = fit
 		pop[i].DominantHz = dom
-	}
-	return nil
+		return nil
+	})
 }
 
 func summarize(gen int, pop []Individual) GenerationStats {

@@ -46,6 +46,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Elites = 50 },
 		func(c *Config) { c.InitialPopulation = make([][]isa.Inst, 100) },
 		func(c *Config) { c.InitialPopulation = [][]isa.Inst{make([]isa.Inst, 3)} },
+		func(c *Config) { c.Parallelism = -1 },
 	}
 	for i, mut := range mutations {
 		cfg := DefaultConfig(isa.ARM64Pool())

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/par"
 )
 
 // IslandConfig runs several semi-isolated populations ("islands") that
@@ -68,10 +69,34 @@ func RunIslands(cfg IslandConfig, m Measurer, progress func(IslandStats)) (*Resu
 	histories := make([][]GenerationStats, cfg.Islands)
 	genOffset := 0
 
+	// Islands within an epoch are independent until migration, so run them
+	// concurrently. The parallelism budget is split: up to Islands workers
+	// run whole islands, and any surplus parallelizes fitness evaluation
+	// inside each island. Results land in per-island slots and progress is
+	// emitted after the epoch in island order, so callbacks and Results are
+	// identical to the serial schedule.
+	islandWorkers := par.Workers(cfg.Base.Parallelism)
+	if islandWorkers > cfg.Islands {
+		islandWorkers = cfg.Islands
+	}
+	innerParallelism := 1
+	if islandWorkers > 0 {
+		innerParallelism = par.Workers(cfg.Base.Parallelism) / islandWorkers
+	}
+	if innerParallelism < 1 {
+		innerParallelism = 1
+	}
+	if cfg.Base.Parallelism <= 1 {
+		// An explicitly serial config stays serial all the way down.
+		islandWorkers, innerParallelism = 1, 1
+	}
+
 	for epoch := 0; epoch < epochs; epoch++ {
-		for i := 0; i < cfg.Islands; i++ {
+		results := make([]*Result, cfg.Islands)
+		err := par.ForEach(islandWorkers, cfg.Islands, func(i int) error {
 			sub := cfg.Base
 			sub.Generations = cfg.MigrationInterval
+			sub.Parallelism = innerParallelism
 			// Decorrelate the islands' random streams per epoch.
 			sub.Seed = cfg.Base.Seed + int64(epoch*cfg.Islands+i+1)*7919
 			if pops[i] != nil {
@@ -79,8 +104,15 @@ func RunIslands(cfg IslandConfig, m Measurer, progress func(IslandStats)) (*Resu
 			}
 			res, err := Run(sub, m, nil)
 			if err != nil {
-				return nil, fmt.Errorf("ga: island %d epoch %d: %w", i, epoch, err)
+				return fmt.Errorf("ga: island %d epoch %d: %w", i, epoch, err)
 			}
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
 			pops[i] = res.FinalPopulation
 			for _, g := range res.History {
 				g.Gen += genOffset

@@ -3,8 +3,8 @@ package instrument
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/dsp"
 	"repro/internal/pdn"
 )
@@ -20,7 +20,7 @@ type DSO struct {
 	FullScaleV   float64 // ADC full-scale range
 	NoiseSigmaV  float64 // input-referred noise
 
-	rng *rand.Rand
+	seed int64 // base of the per-capture noise streams
 }
 
 // NewOCDSO returns the Juno on-chip power-delivery monitor configuration
@@ -33,7 +33,7 @@ func NewOCDSO(seed int64) *DSO {
 		Bits:         10,
 		FullScaleV:   1.6,
 		NoiseSigmaV:  0.8e-3,
-		rng:          rand.New(rand.NewSource(seed)),
+		seed:         seed,
 	}
 }
 
@@ -47,7 +47,7 @@ func NewBenchScope(seed int64) *DSO {
 		Bits:         8,
 		FullScaleV:   2.0,
 		NoiseSigmaV:  2.5e-3,
-		rng:          rand.New(rand.NewSource(seed)),
+		seed:         seed,
 	}
 }
 
@@ -89,9 +89,13 @@ func (d *DSO) Capture(resp *pdn.Response) (*VoltageTrace, error) {
 		return nil, fmt.Errorf("instrument: response too short for %v GS/s", d.SampleRateHz/1e9)
 	}
 	out := dsp.Resample(filtered, resp.Dt, dtOut, n)
+	h := detrand.NewHash()
+	h.Float64(resp.Dt)
+	h.Floats(resp.VDie)
+	rng := detrand.Stream(d.seed, h.Sum())
 	lsb := d.FullScaleV / float64(int(1)<<uint(d.Bits))
 	for i := range out {
-		v := out[i] + d.rng.NormFloat64()*d.NoiseSigmaV
+		v := out[i] + rng.NormFloat64()*d.NoiseSigmaV
 		out[i] = math.Round(v/lsb) * lsb
 	}
 	return &VoltageTrace{Dt: dtOut, V: out}, nil

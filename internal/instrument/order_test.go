@@ -1,0 +1,120 @@
+package instrument
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/pdn"
+)
+
+// The order-independence contract: a measurement's noise depends only on the
+// instrument seed and the measured content, never on what was measured
+// before it. These tests interleave unrelated measurements and check the
+// readings are unchanged — the property the parallel evaluation engine
+// rests on.
+
+func TestSpectrumCaptureOrderIndependent(t *testing.T) {
+	sa, _ := NewSpectrumAnalyzer("x", 9e3, 1.5e9, 1e6, 42)
+	freqsA, wattsA := []float64{67e6}, []float64{1e-6}
+	freqsB, wattsB := []float64{120e6, 130e6}, []float64{2e-7, 3e-7}
+
+	alone, err := sa.Capture(freqsA, wattsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave other work, then repeat the same capture.
+	if _, err := sa.Capture(freqsB, wattsB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.MeasurePeak(freqsB, wattsB, 100e6, 150e6, 7); err != nil {
+		t.Fatal(err)
+	}
+	again, err := sa.Capture(freqsA, wattsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alone, again) {
+		t.Fatal("capture changed after unrelated measurements")
+	}
+
+	// Different content and different seeds must still differ.
+	other, _ := sa.Capture(freqsB, wattsB)
+	if reflect.DeepEqual(alone, other) {
+		t.Fatal("different spectra produced identical traces")
+	}
+	sa2, _ := NewSpectrumAnalyzer("x", 9e3, 1.5e9, 1e6, 43)
+	reseeded, _ := sa2.Capture(freqsA, wattsA)
+	if reflect.DeepEqual(alone, reseeded) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestMeasurePeakSamplesAreIndependent(t *testing.T) {
+	sa, _ := NewSpectrumAnalyzer("x", 9e3, 1.5e9, 1e6, 7)
+	freqs, watts := []float64{67e6}, []float64{1e-6}
+	m1, err := sa.MeasurePeak(freqs, watts, 50e6, 200e6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sa.MeasurePeak(freqs, watts, 50e6, 200e6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("repeated MeasurePeak of the same content differs")
+	}
+	// The per-sample streams vary with the sample index, so the sweeps
+	// averaged inside one measurement must actually spread.
+	if m1.StdevDBm <= 0 {
+		t.Fatalf("samples identical within a measurement: %+v", m1)
+	}
+}
+
+func TestDSOCaptureOrderIndependent(t *testing.T) {
+	mkResp := func(amp float64) *pdn.Response {
+		n := 256
+		resp := &pdn.Response{Dt: 1e-9, VDie: make([]float64, n)}
+		for i := range resp.VDie {
+			resp.VDie[i] = 0.9 + amp*math.Sin(2*math.Pi*float64(i)/32)
+		}
+		return resp
+	}
+	d := NewOCDSO(5)
+	alone, err := d.Capture(mkResp(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Capture(mkResp(0.05)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := d.Capture(mkResp(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alone, again) {
+		t.Fatal("DSO capture changed after an unrelated capture")
+	}
+}
+
+func TestSDRCaptureOrderIndependent(t *testing.T) {
+	s := NewRTLSDR(9)
+	if err := s.Tune(67e6); err != nil {
+		t.Fatal(err)
+	}
+	freqs, watts := []float64{67e6}, []float64{1e-7}
+	alone, err := s.CaptureIQ(freqs, watts, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CaptureIQ([]float64{66e6}, []float64{1e-8}, 512); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.CaptureIQ(freqs, watts, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alone, again) {
+		t.Fatal("SDR capture changed after an unrelated capture")
+	}
+}

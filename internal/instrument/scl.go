@@ -3,6 +3,7 @@ package instrument
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/pdn"
 )
 
@@ -19,6 +20,11 @@ type SCL struct {
 	// SamplesPerPeriod sets the time resolution of the synthesized
 	// response.
 	SamplesPerPeriod int
+	// Parallelism bounds the worker count of Sweep; 0 or 1 runs serially.
+	// The sweep result is identical at any setting: points are collected
+	// by index and every frequency's scope noise depends only on the
+	// captured waveform (see package doc).
+	Parallelism int
 }
 
 // NewSCL returns the default synthetic-current-load configuration.
@@ -57,17 +63,25 @@ func (s *SCL) Sweep(m *pdn.Model, dso *DSO, fLo, fHi, stepHz float64) ([]SweepPo
 	if fLo <= 0 || fHi <= fLo || stepHz <= 0 {
 		return nil, fmt.Errorf("instrument: invalid SCL sweep [%v, %v] step %v", fLo, fHi, stepHz)
 	}
-	var out []SweepPoint
+	var steps []float64
 	for f := fLo; f <= fHi+stepHz/2; f += stepHz {
-		resp, err := s.Excite(m, f)
+		steps = append(steps, f)
+	}
+	out := make([]SweepPoint, len(steps))
+	err := par.ForEach(s.Parallelism, len(steps), func(i int) error {
+		resp, err := s.Excite(m, steps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trace, err := dso.Capture(tile(resp, 8))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SweepPoint{Freq: f, PtpV: trace.PeakToPeak()})
+		out[i] = SweepPoint{Freq: steps[i], PtpV: trace.PeakToPeak()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

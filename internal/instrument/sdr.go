@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/dsp"
 )
 
@@ -24,7 +24,7 @@ type SDR struct {
 	GainDB        float64 // front-end LNA gain ahead of the ADC
 
 	centerHz float64
-	rng      *rand.Rand
+	seed     int64 // base of the per-capture noise streams
 }
 
 // NewRTLSDR returns an RTL-SDR-class receiver: 2.4 MS/s, 8 bits, a mediocre
@@ -37,7 +37,7 @@ func NewRTLSDR(seed int64) *SDR {
 		NoiseFloorDBm: -80,
 		FullScaleV:    0.5,
 		GainDB:        30,
-		rng:           rand.New(rand.NewSource(seed)),
+		seed:          seed,
 	}
 }
 
@@ -78,6 +78,12 @@ func (s *SDR) CaptureIQ(freqs, watts []float64, n int) ([]complex128, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("instrument: need at least 2 IQ samples")
 	}
+	ch := detrand.NewHash()
+	ch.Float64(s.centerHz)
+	ch.Int(n)
+	ch.Floats(freqs)
+	ch.Floats(watts)
+	rng := detrand.Stream(s.seed, ch.Sum())
 	iq := make([]complex128, n)
 	half := s.SampleRateHz / 2
 	for i, f := range freqs {
@@ -87,7 +93,7 @@ func (s *SDR) CaptureIQ(freqs, watts []float64, n int) ([]complex128, error) {
 		}
 		// Amplitude of a tone of power P into 50 ohm: V = sqrt(2*P*50).
 		amp := math.Sqrt(2 * watts[i] * 50)
-		phase := s.rng.Float64() * 2 * math.Pi
+		phase := rng.Float64() * 2 * math.Pi
 		w := 2 * math.Pi * off / s.SampleRateHz
 		for k := 0; k < n; k++ {
 			iq[k] += complex(amp, 0) * cmplx.Exp(complex(0, w*float64(k)+phase))
@@ -101,8 +107,8 @@ func (s *SDR) CaptureIQ(freqs, watts []float64, n int) ([]complex128, error) {
 	gain := math.Pow(10, s.GainDB/20)
 	lsb := s.FullScaleV / float64(int(1)<<uint(s.Bits))
 	for k := range iq {
-		re := (real(iq[k]) + s.rng.NormFloat64()*noiseV) * gain
-		im := (imag(iq[k]) + s.rng.NormFloat64()*noiseV) * gain
+		re := (real(iq[k]) + rng.NormFloat64()*noiseV) * gain
+		im := (imag(iq[k]) + rng.NormFloat64()*noiseV) * gain
 		iq[k] = complex(math.Round(re/lsb)*lsb/gain, math.Round(im/lsb)*lsb/gain)
 	}
 	return iq, nil

@@ -9,14 +9,22 @@
 // band-limit, and quantize — so measurement-driven loops (the GA) face the
 // same jitter the real methodology does, and the paper's 30-sample
 // averaging is actually necessary.
+//
+// Noise model: every instrument draws its measurement noise from a
+// deterministic stream derived from (instrument seed, content hash of the
+// request, sample index) — see internal/detrand. Measuring the same signal
+// always yields the same reading no matter how many other measurements ran
+// before it or on which goroutine, which makes the instruments lock-free
+// and lets the GA and the sweeps evaluate concurrently with bit-identical
+// results at any parallelism setting.
 package instrument
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
+	"repro/internal/detrand"
 	"repro/internal/dsp"
 )
 
@@ -29,8 +37,7 @@ type SpectrumAnalyzer struct {
 	NoiseFloorDBm float64
 	NoiseSigmaDB  float64 // per-bin Gaussian measurement noise, in dB
 
-	mu  sync.Mutex // protects rng: one physical analyzer, many clients
-	rng *rand.Rand
+	seed int64 // base of the per-request noise streams
 }
 
 // NewSpectrumAnalyzer returns an analyzer spanning [startHz, stopHz] with
@@ -47,7 +54,7 @@ func NewSpectrumAnalyzer(model string, startHz, stopHz, rbwHz float64, seed int6
 		RBWHz:         rbwHz,
 		NoiseFloorDBm: -90,
 		NoiseSigmaDB:  0.8,
-		rng:           rand.New(rand.NewSource(seed)),
+		seed:          seed,
 	}, nil
 }
 
@@ -88,11 +95,18 @@ func (s *Sweep) PeakInBand(lo, hi float64) (freq, dbm float64, ok bool) {
 // Capture performs one sweep over an incident power spectrum (freqs in Hz,
 // powers in watts, e.g. from em.CombinedSpectrum): incident power is summed
 // into RBW bins, the noise floor is added, and per-bin measurement noise is
-// applied.
+// applied. The noise is a deterministic function of the analyzer seed and
+// the spectrum content, so capturing the same signal twice gives the same
+// trace; MeasurePeak varies the sample index to model sweep-to-sweep noise.
 func (sa *SpectrumAnalyzer) Capture(freqs, watts []float64) (*Sweep, error) {
 	if len(freqs) != len(watts) {
 		return nil, fmt.Errorf("instrument: spectrum length mismatch %d vs %d", len(freqs), len(watts))
 	}
+	return sa.capture(freqs, watts, detrand.Stream(sa.seed, detrand.HashFloats(freqs, watts), 0)), nil
+}
+
+// capture is the noise-source-explicit sweep used by Capture and MeasurePeak.
+func (sa *SpectrumAnalyzer) capture(freqs, watts []float64, rng *rand.Rand) *Sweep {
 	nBins := int(math.Ceil((sa.StopHz - sa.StartHz) / sa.RBWHz))
 	if nBins < 1 {
 		nBins = 1
@@ -109,14 +123,12 @@ func (sa *SpectrumAnalyzer) Capture(freqs, watts []float64) (*Sweep, error) {
 		}
 	}
 	floor := dsp.FromDBm(sa.NoiseFloorDBm)
-	sa.mu.Lock()
 	for b := 0; b < nBins; b++ {
 		sweep.Freqs[b] = sa.StartHz + (float64(b)+0.5)*sa.RBWHz
-		p := acc[b] + floor*(0.5+sa.rng.Float64())
-		sweep.DBm[b] = dsp.DBm(p) + sa.rng.NormFloat64()*sa.NoiseSigmaDB
+		p := acc[b] + floor*(0.5+rng.Float64())
+		sweep.DBm[b] = dsp.DBm(p) + rng.NormFloat64()*sa.NoiseSigmaDB
 	}
-	sa.mu.Unlock()
-	return sweep, nil
+	return sweep
 }
 
 // Measurement is the paper's GA fitness observable: the peak amplitude in a
@@ -136,13 +148,14 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 	if samples < 1 {
 		return nil, fmt.Errorf("instrument: need at least 1 sample, got %d", samples)
 	}
+	if len(freqs) != len(watts) {
+		return nil, fmt.Errorf("instrument: spectrum length mismatch %d vs %d", len(freqs), len(watts))
+	}
+	h := detrand.HashFloats(freqs, watts)
 	peaks := make([]float64, 0, samples)
 	freqVotes := make(map[float64]int)
 	for s := 0; s < samples; s++ {
-		sweep, err := sa.Capture(freqs, watts)
-		if err != nil {
-			return nil, err
-		}
+		sweep := sa.capture(freqs, watts, detrand.Stream(sa.seed, h, uint64(s)))
 		f, dbm, ok := sweep.PeakInBand(lo, hi)
 		if !ok {
 			return nil, fmt.Errorf("instrument: band [%v, %v] outside analyzer span", lo, hi)

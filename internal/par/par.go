@@ -1,0 +1,70 @@
+// Package par provides the bounded worker pool behind every parallel
+// evaluation path in the repository (GA fitness, resonance sweeps, V_MIN
+// shmoos). Work items are indexed and results are collected by index, and
+// on failure the error reported is the one from the lowest failing index —
+// so a caller observes the same outcome at any worker count, which is the
+// contract the determinism regression tests enforce.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: values <= 0 mean "one worker per
+// available CPU".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 1 runs inline). All items are attempted; if any fail, the
+// error returned is the one from the lowest index, regardless of the order
+// in which workers finished.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Inline path. Unlike the pooled path this stops at the first
+		// error, but since items are visited in index order the error
+		// returned is still the lowest-index one.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		visits := make([]atomic.Int32, 50)
+		err := ForEach(workers, len(visits), func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if n := visits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("called") }); err != nil {
+		t.Fatal(err)
+	}
+	called := 0
+	if err := ForEach(4, 1, func(i int) error { called++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("single-element body called %d times", called)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 1" {
+			t.Fatalf("workers=%d: got %v, want lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestForEachInlineWhenSerial(t *testing.T) {
+	// Serial execution must run the body on the calling goroutine, in order.
+	var order []int
+	if err := ForEach(1, 5, func(i int) error {
+		order = append(order, i) // would race if not inline
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}

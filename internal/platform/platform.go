@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/em"
 	"repro/internal/isa"
@@ -72,6 +73,17 @@ type Domain struct {
 	clockHz      float64
 	supplyVolts  float64
 	transfers    map[transferKey]*pdn.TransferSet
+
+	// Spectra memoization: the spectra of a workload are a pure function of
+	// (load, sampling, clock, supply, powered cores), so converged GA
+	// populations that re-simulate the same elites every generation hit the
+	// cache instead of re-running the uarch→power→FFT pipeline. Entries are
+	// shared read-only slices; purity means eviction can never change a
+	// result.
+	spectraMu     sync.Mutex
+	spectra       map[spectraKey]*spectraEntry
+	spectraHits   atomic.Uint64
+	spectraMisses atomic.Uint64
 }
 
 // transferKey omits the supply setting: the network is linear, so its
@@ -82,6 +94,27 @@ type transferKey struct {
 	n     int
 	dt    float64
 }
+
+// spectraKey identifies one memoized spectra computation. The load enters
+// as its content hash (sequence, active cores, phase stagger).
+type spectraKey struct {
+	load    uint64
+	powered int
+	clock   float64
+	supply  float64
+	dt      float64
+	n       int
+}
+
+// spectraEntry holds the shared, read-only result of one spectra run.
+type spectraEntry struct {
+	freqs, vAmp, iAmp []float64
+	res               *uarch.Result
+}
+
+// spectraCacheCap bounds the memo; past it the whole map is dropped (purity
+// makes the eviction policy invisible to results).
+const spectraCacheCap = 512
 
 // NewDomain returns a domain at nominal conditions with all cores powered.
 func NewDomain(spec Spec) (*Domain, error) {
@@ -109,6 +142,7 @@ func NewDomain(spec Spec) (*Domain, error) {
 		clockHz:      spec.MaxClockHz,
 		supplyVolts:  spec.PDN.VNominal,
 		transfers:    make(map[transferKey]*pdn.TransferSet),
+		spectra:      make(map[spectraKey]*spectraEntry),
 	}, nil
 }
 
@@ -143,17 +177,29 @@ func (d *Domain) ClockHz() float64 {
 
 // SetClockHz sets the core clock, snapping to the domain's step size.
 func (d *Domain) SetClockHz(hz float64) error {
+	snapped, err := d.SnapClock(hz)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clockHz = snapped
+	return nil
+}
+
+// SnapClock validates a clock request and returns the setting the domain
+// would actually run at (quantized to ClockStepHz), without changing any
+// state. The stateless measurement paths (SpectraAt, SteadyResponseAt) take
+// snapped clocks so concurrent sweeps never touch the shared clock setting.
+func (d *Domain) SnapClock(hz float64) (float64, error) {
 	if hz <= 0 || hz > d.Spec.MaxClockHz {
-		return fmt.Errorf("platform: %s: clock %v outside (0, %v]", d.Spec.Name, hz, d.Spec.MaxClockHz)
+		return 0, fmt.Errorf("platform: %s: clock %v outside (0, %v]", d.Spec.Name, hz, d.Spec.MaxClockHz)
 	}
 	steps := math.Round(hz / d.Spec.ClockStepHz)
 	if steps < 1 {
 		steps = 1
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.clockHz = steps * d.Spec.ClockStepHz
-	return nil
+	return steps * d.Spec.ClockStepHz, nil
 }
 
 // ClockSteps lists the available clock settings from low to high.
@@ -199,6 +245,12 @@ func (d *Domain) Model() (*pdn.Model, error) {
 	d.mu.Lock()
 	cores, supply := d.poweredCores, d.supplyVolts
 	d.mu.Unlock()
+	return d.modelAt(cores, supply)
+}
+
+// modelAt builds the PDN model for an explicit powered-core count and
+// supply setting, independent of the domain's mutable state.
+func (d *Domain) modelAt(cores int, supply float64) (*pdn.Model, error) {
 	p := d.Spec.PDN
 	p.VNominal = supply
 	return pdn.NewModel(p, cores)
@@ -208,23 +260,42 @@ func (d *Domain) Model() (*pdn.Model, error) {
 // functions for the current domain state and the given sampling grid.
 func (d *Domain) transferSet(n int, dt float64) (*pdn.TransferSet, error) {
 	d.mu.Lock()
-	key := transferKey{cores: d.poweredCores, n: n, dt: dt}
-	if ts, ok := d.transfers[key]; ok {
-		d.mu.Unlock()
+	cores, supply := d.poweredCores, d.supplyVolts
+	d.mu.Unlock()
+	return d.transferSetAt(cores, supply, n, dt)
+}
+
+// transferSetAt is transferSet for an explicit powered-core count. The
+// cache key omits the supply (the transfers are supply-independent); under
+// concurrent misses both goroutines build the same set and one copy wins.
+func (d *Domain) transferSetAt(cores int, supply float64, n int, dt float64) (*pdn.TransferSet, error) {
+	key := transferKey{cores: cores, n: n, dt: dt}
+	d.mu.Lock()
+	ts, ok := d.transfers[key]
+	d.mu.Unlock()
+	if ok {
 		return ts, nil
 	}
-	d.mu.Unlock()
 
-	m, err := d.Model()
+	m, err := d.modelAt(cores, supply)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := m.Transfers(n, dt)
+	built, err := m.Transfers(n, dt)
 	if err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
-	d.transfers[key] = ts
+	if ts, ok = d.transfers[key]; !ok {
+		d.transfers[key] = built
+		ts = built
+	}
 	d.mu.Unlock()
 	return ts, nil
+}
+
+// SpectraCacheStats reports the spectra memo's hit/miss counters (logged by
+// cmd/gahunt -v to make cache effectiveness observable).
+func (d *Domain) SpectraCacheStats() (hits, misses uint64) {
+	return d.spectraHits.Load(), d.spectraMisses.Load()
 }

@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 
+	"repro/internal/detrand"
 	"repro/internal/isa"
 	"repro/internal/pdn"
 	"repro/internal/power"
@@ -18,6 +19,23 @@ type Load struct {
 	ActiveCores int
 	// PhaseCycles optionally staggers the active cores (empty = aligned).
 	PhaseCycles []float64
+}
+
+// Hash returns a content hash of the load (sequence, active cores, phase
+// stagger) for spectra-cache keys and measurement-noise streams.
+func (l Load) Hash() uint64 {
+	h := detrand.NewHash()
+	h.Int(len(l.Seq))
+	for _, in := range l.Seq {
+		h.String(in.Def.Mnemonic)
+		h.Int(in.Dest)
+		h.Int(in.Srcs[0])
+		h.Int(in.Srcs[1])
+		h.Int(in.Addr)
+	}
+	h.Int(l.ActiveCores)
+	h.Floats(l.PhaseCycles)
+	return h.Sum()
 }
 
 // Validate reports the first problem with the load for this domain.
@@ -37,13 +55,19 @@ func (d *Domain) validateLoad(l Load) error {
 // result for the loop. The current scales with the supply setting
 // (dynamic charge is proportional to voltage).
 func (d *Domain) Current(l Load, dt float64, n int) ([]float64, *uarch.Result, error) {
-	if err := d.validateLoad(l); err != nil {
-		return nil, nil, err
-	}
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
+	return d.currentAt(l, dt, n, clock, supply, powered)
+}
 
+// currentAt is Current with the domain state passed explicitly, so
+// concurrent sweeps can evaluate many operating points without mutating
+// (or locking) the shared domain.
+func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, powered int) ([]float64, *uarch.Result, error) {
+	if err := d.validateLoad(l); err != nil {
+		return nil, nil, err
+	}
 	cl := power.ClusterLoad{
 		Core:        d.Spec.Core,
 		Seq:         l.Seq,
@@ -66,15 +90,33 @@ func (d *Domain) Current(l Load, dt float64, n int) ([]float64, *uarch.Result, e
 // SteadyResponse returns the exact periodic steady-state die voltage and
 // package-inductor current under the workload, using cached PDN transfers.
 func (d *Domain) SteadyResponse(l Load, dt float64, n int) (*pdn.Response, *uarch.Result, error) {
-	wave, res, err := d.Current(l, dt, n)
+	d.mu.Lock()
+	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
+	d.mu.Unlock()
+	return d.steadyResponseAt(l, dt, n, clock, supply, powered)
+}
+
+// SteadyResponseAt is SteadyResponse at an explicit clock and supply
+// setting (the powered-core count still comes from the domain). The clock
+// should be a value returned by SnapClock; no domain state is touched, so
+// shmoos can evaluate a whole grid of operating points concurrently.
+func (d *Domain) SteadyResponseAt(l Load, dt float64, n int, clockHz, supplyVolts float64) (*pdn.Response, *uarch.Result, error) {
+	if supplyVolts <= 0 || supplyVolts > 2*d.Spec.PDN.VNominal {
+		return nil, nil, fmt.Errorf("platform: %s: supply %v out of range", d.Spec.Name, supplyVolts)
+	}
+	return d.steadyResponseAt(l, dt, n, clockHz, supplyVolts, d.PoweredCores())
+}
+
+func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float64, powered int) (*pdn.Response, *uarch.Result, error) {
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered)
 	if err != nil {
 		return nil, nil, err
 	}
-	ts, err := d.transferSet(n, dt)
+	ts, err := d.transferSetAt(powered, supply, n, dt)
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := ts.SteadyStateAt(wave, d.SupplyVolts())
+	resp, err := ts.SteadyStateAt(wave, supply)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -82,13 +124,43 @@ func (d *Domain) SteadyResponse(l Load, dt float64, n int) (*pdn.Response, *uarc
 }
 
 // Spectra returns the single-sided amplitude spectra of the die voltage
-// and package-inductor current under the workload.
+// and package-inductor current under the workload. Results are memoized
+// (see spectraKey); the returned slices are shared and must be treated as
+// read-only.
 func (d *Domain) Spectra(l Load, dt float64, n int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
-	wave, res, err := d.Current(l, dt, n)
+	d.mu.Lock()
+	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
+	d.mu.Unlock()
+	return d.spectraAt(l, dt, n, clock, supply, powered)
+}
+
+// SpectraAt is Spectra at an explicit clock (the supply and powered-core
+// count still come from the domain). The clock should be a value returned
+// by SnapClock; no domain state is touched, so resonance sweeps can
+// evaluate every clock step concurrently.
+func (d *Domain) SpectraAt(l Load, dt float64, n int, clockHz float64) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+	d.mu.Lock()
+	supply, powered := d.supplyVolts, d.poweredCores
+	d.mu.Unlock()
+	return d.spectraAt(l, dt, n, clockHz, supply, powered)
+}
+
+func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+	key := spectraKey{load: l.Hash(), powered: powered, clock: clock, supply: supply, dt: dt, n: n}
+	d.spectraMu.Lock()
+	ent, ok := d.spectra[key]
+	d.spectraMu.Unlock()
+	if ok {
+		d.spectraHits.Add(1)
+		return ent.freqs, ent.vAmp, ent.iAmp, ent.res, nil
+	}
+	d.spectraMisses.Add(1)
+
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	ts, err := d.transferSet(n, dt)
+	ts, err := d.transferSetAt(powered, supply, n, dt)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -96,6 +168,12 @@ func (d *Domain) Spectra(l Load, dt float64, n int) (freqs, vAmp, iAmp []float64
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	d.spectraMu.Lock()
+	if len(d.spectra) >= spectraCacheCap {
+		d.spectra = make(map[spectraKey]*spectraEntry)
+	}
+	d.spectra[key] = &spectraEntry{freqs: freqs, vAmp: vAmp, iAmp: iAmp, res: res}
+	d.spectraMu.Unlock()
 	return freqs, vAmp, iAmp, res, nil
 }
 

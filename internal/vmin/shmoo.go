@@ -3,6 +3,7 @@ package vmin
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/platform"
 )
 
@@ -14,32 +15,40 @@ type ShmooPoint struct {
 	Outcome FailureKind
 }
 
-// Shmoo sweeps the domain clock across the given settings and runs a V_MIN
-// search at each, producing the classic post-silicon shmoo curve: the
-// frequency/voltage boundary of stable operation for one workload. The
-// domain's clock is restored afterwards.
+// Shmoo runs a V_MIN search at each of the given clock settings, producing
+// the classic post-silicon shmoo curve: the frequency/voltage boundary of
+// stable operation for one workload. Each operating point is independent
+// and evaluated through the stateless search path on up to t.Parallelism
+// workers; the domain's clock setting is never touched and points are
+// collected in input order, so serial and parallel shmoos are identical.
 func (t *Tester) Shmoo(load platform.Load, clocks []float64) ([]ShmooPoint, error) {
 	if len(clocks) == 0 {
 		return nil, fmt.Errorf("vmin: shmoo needs at least one clock setting")
 	}
-	original := t.Domain.ClockHz()
-	defer func() { _ = t.Domain.SetClockHz(original) }()
-
-	out := make([]ShmooPoint, 0, len(clocks))
-	for _, clock := range clocks {
-		if err := t.Domain.SetClockHz(clock); err != nil {
+	snapped := make([]float64, len(clocks))
+	for i, clock := range clocks {
+		c, err := t.Domain.SnapClock(clock)
+		if err != nil {
 			return nil, err
 		}
-		res, err := t.Search(load)
+		snapped[i] = c
+	}
+	out := make([]ShmooPoint, len(clocks))
+	err := par.ForEach(t.Parallelism, len(snapped), func(i int) error {
+		res, err := t.search(load, snapped[i], 0)
 		if err != nil {
-			return nil, fmt.Errorf("vmin: shmoo at %v Hz: %w", clock, err)
+			return fmt.Errorf("vmin: shmoo at %v Hz: %w", snapped[i], err)
 		}
-		out = append(out, ShmooPoint{
-			ClockHz: t.Domain.ClockHz(),
+		out[i] = ShmooPoint{
+			ClockHz: snapped[i],
 			VminV:   res.VminV,
 			MarginV: res.MarginV,
 			Outcome: res.Outcome,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -10,13 +10,17 @@
 // crash point there is a narrow band (the paper observes ~10 mV) where SDC
 // and application crashes appear first. A small per-trial jitter on the
 // threshold reproduces the run-to-run spread that makes the paper repeat
-// each virus measurement 30 times.
+// each virus measurement 30 times. The jitter is drawn from a deterministic
+// stream keyed by (tester seed, load, operating point, trial index) — see
+// internal/detrand — so trials are order-independent and shmoo points can
+// be evaluated concurrently with bit-identical results.
 package vmin
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/platform"
 )
 
@@ -56,8 +60,11 @@ type Tester struct {
 	// ThresholdJitterV is the sigma of the per-trial critical-voltage
 	// jitter.
 	ThresholdJitterV float64
+	// Parallelism bounds the worker count of Shmoo; 0 or 1 runs serially.
+	// Results are identical at any setting.
+	Parallelism int
 
-	rng *rand.Rand
+	seed int64 // base of the per-trial jitter streams
 }
 
 // NewTester returns a tester with the default analysis grid.
@@ -67,14 +74,29 @@ func NewTester(d *platform.Domain, seed int64) *Tester {
 		Dt:               0.25e-9,
 		N:                8192,
 		ThresholdJitterV: 1.5e-3,
-		rng:              rand.New(rand.NewSource(seed)),
+		seed:             seed,
 	}
 }
 
+// trialRNG derives the jitter stream for one trial from everything that
+// identifies it: the load, the operating point, and the trial nonce
+// (Repeat's run index, so repeated searches see independent jitter).
+func (t *Tester) trialRNG(load platform.Load, clockHz, supply float64, trial int) *rand.Rand {
+	h := detrand.NewHash()
+	h.Uint64(load.Hash())
+	h.Float64(clockHz)
+	h.Float64(supply)
+	h.Int(t.Domain.PoweredCores())
+	return detrand.Stream(t.seed, h.Sum(), uint64(int64(trial)))
+}
+
 // VCrit returns the domain's critical voltage at its current clock.
-func (t *Tester) VCrit() float64 {
+func (t *Tester) VCrit() float64 { return t.vcritAt(t.Domain.ClockHz()) }
+
+// vcritAt returns the critical voltage at an explicit clock setting.
+func (t *Tester) vcritAt(clockHz float64) float64 {
 	spec := t.Domain.Spec
-	return spec.Failure.VCritAtMax - spec.Failure.SlackPerHz*(spec.MaxClockHz-t.Domain.ClockHz())
+	return spec.Failure.VCritAtMax - spec.Failure.SlackPerHz*(spec.MaxClockHz-clockHz)
 }
 
 // Trial is one execution at one supply setting.
@@ -86,22 +108,23 @@ type Trial struct {
 	VCritEff float64 // the jittered threshold used for this trial
 }
 
-// RunAt executes the workload once at the given supply and classifies the
-// outcome.
+// RunAt executes the workload once at the given supply (and the domain's
+// current clock) and classifies the outcome. The domain's supply setting is
+// never touched: the evaluation goes through the stateless
+// SteadyResponseAt path.
 func (t *Tester) RunAt(load platform.Load, supply float64) (Trial, error) {
-	prior := t.Domain.SupplyVolts()
-	if err := t.Domain.SetSupplyVolts(supply); err != nil {
-		return Trial{}, err
-	}
-	// Restore only the supply: V_MIN campaigns run at whatever clock and
-	// powered-core configuration the caller has set up (e.g. a shmoo).
-	defer func() { _ = t.Domain.SetSupplyVolts(prior) }()
-	resp, _, err := t.Domain.SteadyResponse(load, t.Dt, t.N)
+	return t.runAt(load, t.Domain.ClockHz(), supply, 0)
+}
+
+// runAt is RunAt at an explicit clock with a trial nonce.
+func (t *Tester) runAt(load platform.Load, clockHz, supply float64, trial int) (Trial, error) {
+	resp, _, err := t.Domain.SteadyResponseAt(load, t.Dt, t.N, clockHz, supply)
 	if err != nil {
 		return Trial{}, err
 	}
+	rng := t.trialRNG(load, clockHz, supply, trial)
 	minV := resp.MinVoltage()
-	vcrit := t.VCrit() + t.rng.NormFloat64()*t.ThresholdJitterV
+	vcrit := t.vcritAt(clockHz) + rng.NormFloat64()*t.ThresholdJitterV
 	tr := Trial{
 		SupplyV:  supply,
 		MinVDie:  minV,
@@ -114,7 +137,7 @@ func (t *Tester) RunAt(load platform.Load, supply float64) (Trial, error) {
 		tr.Outcome = SystemCrash
 	case minV < vcrit+sdcBand:
 		// In the marginal band, lighter failures surface first.
-		if t.rng.Intn(2) == 0 {
+		if rng.Intn(2) == 0 {
 			tr.Outcome = SDC
 		} else {
 			tr.Outcome = AppCrash
@@ -141,14 +164,20 @@ type Result struct {
 }
 
 // Search lowers the supply from the domain's nominal voltage in the
-// board's V_MIN step size until a deviation is observed.
+// board's V_MIN step size until a deviation is observed. The search runs at
+// the domain's current clock without mutating any domain state.
 func (t *Tester) Search(load platform.Load) (*Result, error) {
+	return t.search(load, t.Domain.ClockHz(), 0)
+}
+
+// search is Search at an explicit clock with a trial nonce.
+func (t *Tester) search(load platform.Load, clockHz float64, trial int) (*Result, error) {
 	spec := t.Domain.Spec
 	step := spec.VminStepVolts()
 	nominal := spec.PDN.VNominal
 
 	// Droop at nominal conditions first.
-	nomTrial, err := t.RunAt(load, nominal)
+	nomTrial, err := t.runAt(load, clockHz, nominal, trial)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +189,7 @@ func (t *Tester) Search(load platform.Load) (*Result, error) {
 		if supply <= 0 {
 			return nil, fmt.Errorf("vmin: %s: no failure found down to 0V (model miscalibrated?)", spec.Name)
 		}
-		tr, err := t.RunAt(load, supply)
+		tr, err := t.runAt(load, clockHz, supply, trial)
 		if err != nil {
 			return nil, err
 		}
@@ -177,12 +206,15 @@ func (t *Tester) Search(load platform.Load) (*Result, error) {
 
 // Repeat performs n independent V_MIN searches (the paper runs 30 per
 // virus) and returns the per-run V_MIN values plus the worst (highest).
+// The run index is the trial nonce, so each repetition sees independent
+// threshold jitter.
 func (t *Tester) Repeat(load platform.Load, n int) (worst *Result, all []float64, err error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("vmin: need at least 1 repetition")
 	}
+	clock := t.Domain.ClockHz()
 	for i := 0; i < n; i++ {
-		r, err := t.Search(load)
+		r, err := t.search(load, clock, i)
 		if err != nil {
 			return nil, nil, err
 		}
