@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt
+.PHONY: all build test tier1 race vet bench chaos fmt
 
 all: build test
 
@@ -11,10 +11,20 @@ build:
 test: build
 	$(GO) test ./...
 
+tier1: test
+
+# Chaos: the remote-lab fault-injection suite (deterministic drop/delay/
+# garble proxy, reconnect-and-replay, pooled GA vs direct equivalence)
+# under the race detector. The transport's retry loop, the per-session
+# server state and the pool checkout all run concurrently here.
+chaos:
+	$(GO) test -race ./internal/lab/chaos
+	$(GO) test -race -run 'Chaos|Reconnect|Deadline|Pool|Concurrent|Shutdown|Desync|Garbled' ./internal/lab
+
 # Tier-2: vet plus the race detector over the full module. The concurrent
-# paths (GA worker pool, parallel sweeps/shmoos, the spectra cache and the
-# FFT plan caches) must stay race-clean.
-race:
+# paths (GA worker pool, parallel sweeps/shmoos, the spectra cache, the
+# FFT plan caches and the remote-lab client pool) must stay race-clean.
+race: tier1 chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/isa"
 	"repro/internal/lab"
+	"repro/internal/lab/chaos"
 	"repro/internal/pdn"
 	"repro/internal/platform"
 	"repro/internal/uarch"
@@ -212,10 +213,27 @@ func Workloads() []Workload { return workload.All() }
 
 // Remote lab orchestration (the paper's workstation/target split).
 type (
-	// LabServer is the target-machine daemon.
+	// LabServer is the target-machine daemon (per-session workload slots,
+	// graceful Shutdown, per-command counters).
 	LabServer = lab.Server
-	// LabClient is the workstation side of the measurement loop.
+	// LabClient is the workstation side of the measurement loop:
+	// per-command deadlines, classified errors, bounded-backoff retry with
+	// reconnect and setpoint replay.
 	LabClient = lab.Client
+	// LabOptions tunes the client's resilience envelope (deadlines,
+	// attempts, backoff).
+	LabOptions = lab.Options
+	// LabPool is a fixed-size set of lab clients for parallel remote
+	// measurement (gahunt -remote -j N).
+	LabPool = lab.Pool
+	// LabStats is a snapshot of transport counters (dials, reconnects,
+	// replays, per-command latency/retries).
+	LabStats = lab.Stats
+	// ChaosProxy is a deterministic fault-injection TCP proxy for
+	// exercising the transport's failure handling.
+	ChaosProxy = chaos.Proxy
+	// ChaosConfig sets the proxy's seeded drop/delay/garble rates.
+	ChaosConfig = chaos.Config
 )
 
 // NewLabServer wraps a bench as a lab daemon.
@@ -223,6 +241,23 @@ func NewLabServer(b *Bench) (*LabServer, error) { return lab.NewServer(b) }
 
 // DialLab connects to a lab daemon.
 var DialLab = lab.Dial
+
+// DialLabOptions connects to a lab daemon with explicit resilience options.
+var DialLabOptions = lab.DialOptions
+
+// NewLabPool dials a pool of concurrent lab clients to one daemon.
+func NewLabPool(addr string, size int, opts LabOptions) (*LabPool, error) {
+	return lab.NewPool(addr, size, opts)
+}
+
+// IsLabTargetError reports whether err is a target-side ERR reply (never
+// retried) as opposed to a transport fault (retried transparently).
+var IsLabTargetError = lab.IsTargetError
+
+// NewChaosProxy starts a fault-injection proxy in front of a lab daemon.
+func NewChaosProxy(upstream string, cfg ChaosConfig) (*ChaosProxy, error) {
+	return chaos.New(upstream, cfg)
+}
 
 // Experiments: the paper's tables and figures.
 type (

@@ -6,10 +6,14 @@
 //
 //	gahunt -platform juno -domain cortex-a72 -cores 2 [-metric em]
 //	gahunt -platform amd -domain athlon-ii-x4 -metric droop -out virus.s
-//	gahunt -remote host:9740 -domain cortex-a72 -cores 2
+//	gahunt -remote host:9740 -domain cortex-a72 -cores 2 -j 8
 //
 // With -remote the individuals are shipped to a labtarget daemon and
-// measured there (the paper's workstation/target split).
+// measured there (the paper's workstation/target split) over a pool of -j
+// resilient connections: per-command deadlines, retry with reconnect and
+// setpoint replay, so a flaky link degrades throughput, not results.
+// `-v` prints the transport's dial/reconnect/replay and per-command
+// latency counters.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/isa"
 	"repro/internal/lab"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/session"
 )
@@ -44,7 +49,7 @@ func main() {
 		islands = flag.Int("islands", 1, "island-model populations (1 = classic single population)")
 		sess    = flag.String("session", "", "write a JSON session report to this file")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel fitness evaluations (results are identical at any setting)")
-		verbose = flag.Bool("v", false, "print evaluation statistics (spectra cache hits/misses)")
+		verbose = flag.Bool("v", false, "print evaluation statistics (transport latency/retries when -remote, spectra cache otherwise)")
 	)
 	flag.Parse()
 
@@ -63,13 +68,8 @@ func main() {
 	cfg.SeqLen = *seqLen
 	cfg.Seed = *seed
 	cfg.Parallelism = *jobs
-	if *remote != "" && *jobs > 1 {
-		// The lab client is a single stateful connection; measurements
-		// must stay serial.
-		cfg.Parallelism = 1
-	}
 
-	measurer, cleanup, err := buildMeasurer(p, d, *metric, *cores, *samples, *seed, *remote)
+	measurer, cleanup, transportStats, err := buildMeasurer(p, d, *metric, *cores, *samples, *seed, *remote, par.Workers(*jobs))
 	if err != nil {
 		fatal(err)
 	}
@@ -102,13 +102,17 @@ func main() {
 	fmt.Printf("done in %v: best fitness %.2f, dominant %.2f MHz\n",
 		time.Since(start).Round(time.Millisecond), res.Best.Fitness, res.Best.DominantHz/1e6)
 	if *verbose {
-		hits, misses := d.SpectraCacheStats()
-		total := hits + misses
-		pct := 0.0
-		if total > 0 {
-			pct = 100 * float64(hits) / float64(total)
+		if transportStats != nil {
+			fmt.Println(transportStats())
+		} else {
+			hits, misses := d.SpectraCacheStats()
+			total := hits + misses
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(hits) / float64(total)
+			}
+			fmt.Printf("spectra cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, pct)
 		}
-		fmt.Printf("spectra cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, pct)
 	}
 	if *sess != "" {
 		rep := session.New(p, d, time.Now())
@@ -148,31 +152,36 @@ func buildPlatform(name string) (*platform.Platform, error) {
 	}
 }
 
+// buildMeasurer wires the fitness source. With -remote it dials a pool of
+// `jobs` resilient lab clients so the GA's parallel workers each own a
+// session (see internal/lab); the returned stats closure renders the
+// transport counters for -v.
 func buildMeasurer(p *platform.Platform, d *platform.Domain, metric string,
-	cores, samples int, seed int64, remote string) (ga.Measurer, func(), error) {
+	cores, samples int, seed int64, remote string, jobs int) (ga.Measurer, func(), func() string, error) {
 	if remote != "" {
-		client, err := lab.Dial(remote, 5*time.Second)
+		pool, err := lab.NewPool(remote, jobs, lab.Options{})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return client.Measurer(d.Spec.Name, cores, samples, d.Spec.Pool()),
-			func() { client.Close() }, nil
+		return pool.Measurer(d.Spec.Name, cores, samples, d.Spec.Pool()),
+			func() { pool.Close() },
+			func() string { return pool.Stats().String() }, nil
 	}
 	bench, err := core.NewBench(p, seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	bench.Samples = samples
 	noop := func() {}
 	switch metric {
 	case "em":
-		return bench.EMMeasurer(d, cores), noop, nil
+		return bench.EMMeasurer(d, cores), noop, nil, nil
 	case "droop":
-		return bench.DroopMeasurer(d, cores, scopeFor(d, seed)), noop, nil
+		return bench.DroopMeasurer(d, cores, scopeFor(d, seed)), noop, nil, nil
 	case "ptp":
-		return bench.PtpMeasurer(d, cores, scopeFor(d, seed)), noop, nil
+		return bench.PtpMeasurer(d, cores, scopeFor(d, seed)), noop, nil, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown metric %q (want em, droop or ptp)", metric)
+		return nil, nil, nil, fmt.Errorf("unknown metric %q (want em, droop or ptp)", metric)
 	}
 }
 

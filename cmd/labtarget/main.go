@@ -8,7 +8,11 @@
 //
 //	labtarget -listen :9740 -platform juno
 //
-// then point `gahunt -remote host:9740` at it.
+// then point `gahunt -remote host:9740 -j N` at it. Each connection is an
+// independent session, so pooled workstation clients evaluate in parallel.
+// SIGINT/SIGTERM shuts the daemon down gracefully — live sessions are
+// severed, the listener closed, and the per-command execution counters
+// printed.
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/lab"
@@ -55,10 +61,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("labtarget: %v, shutting down\n", s)
+		_ = srv.Shutdown()
+	}()
+
 	fmt.Printf("labtarget: serving %s on %s\n", p.Name, ln.Addr())
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}
+	fmt.Println(srv.StatsString())
 }
 
 func fatal(err error) {

@@ -5,6 +5,13 @@
 // the protocol is the same one `cmd/labtarget` serves, so the workstation
 // half works unchanged against a remote daemon.
 //
+// To show the transport earning its keep, the workstation talks to the
+// daemon through a deterministic fault-injection proxy that drops
+// connections mid-command, delays replies past the client's deadline and
+// garbles reply lines — and the GA still finishes, in parallel, with the
+// exact result a fault-free serial run produces (measurements are
+// content-deterministic, so retries cannot change them).
+//
 //	go run ./examples/remote_lab
 package main
 
@@ -39,8 +46,28 @@ func main() {
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("labtarget serving on %s\n", ln.Addr())
 
-	// Workstation side: everything below talks only through the socket.
-	client, err := emnoise.DialLab(ln.Addr().String(), 2*time.Second)
+	// A flaky network between workstation and target: seeded faults on the
+	// reply path — dropped connections, delayed and corrupted replies.
+	proxy, err := emnoise.NewChaosProxy(ln.Addr().String(), emnoise.ChaosConfig{
+		Seed:       7,
+		DropRate:   0.04,
+		GarbleRate: 0.03,
+		DelayRate:  0.01,
+		Delay:      400 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	fmt.Printf("chaos proxy (drops, delays, garbles) on %s\n", proxy.Addr())
+
+	// Workstation side: everything below talks only through the proxied
+	// socket. A single resilient client first...
+	client, err := emnoise.DialLabOptions(proxy.Addr(), emnoise.LabOptions{
+		IOTimeout:   200 * time.Millisecond,
+		MaxAttempts: 8,
+		BackoffBase: 5 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,16 +87,29 @@ func main() {
 	fmt.Printf("remote sweep: resonance %.1f MHz (peak %.1f dBm, %d points)\n",
 		resHz/1e6, peak, points)
 
-	// Remote GA: the measurer ships each individual over the wire.
+	// ...then a pool of 8 sessions for the GA: each parallel fitness
+	// evaluation checks a client out and ships its individual over the
+	// wire (gahunt -remote -j 8 does exactly this).
+	pool, err := emnoise.NewLabPool(proxy.Addr(), 8, emnoise.LabOptions{
+		IOTimeout:   200 * time.Millisecond,
+		MaxAttempts: 8,
+		BackoffBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
 	a72, err := plat.Domain(emnoise.DomainA72)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool := a72.Spec.Pool()
-	cfg := emnoise.DefaultGAConfig(pool)
+	ipool := a72.Spec.Pool()
+	cfg := emnoise.DefaultGAConfig(ipool)
 	cfg.PopulationSize = 16
 	cfg.Generations = 8
-	measurer := client.Measurer(emnoise.DomainA72, 2, 5, pool)
+	cfg.Parallelism = 8
+	measurer := pool.Measurer(emnoise.DomainA72, 2, 5, ipool)
 	res, err := emnoise.RunGA(cfg, measurer, func(s emnoise.GAStats) {
 		fmt.Printf("gen %d: best %.2f dBm @ %.1f MHz\n",
 			s.Gen, s.BestFitness, s.BestDominant/1e6)
@@ -79,7 +119,7 @@ func main() {
 	}
 
 	// Remote V_MIN of the evolved virus.
-	if err := client.Load(emnoise.DomainA72, 2, pool, res.Best.Seq); err != nil {
+	if err := client.Load(emnoise.DomainA72, 2, ipool, res.Best.Seq); err != nil {
 		log.Fatal(err)
 	}
 	vres, err := client.Vmin(3)
@@ -88,4 +128,10 @@ func main() {
 	}
 	fmt.Printf("virus V_MIN (remote, worst of 3): %.3f V, margin %.0f mV (%s)\n",
 		vres.VminV, vres.MarginV*1e3, vres.Outcome)
+
+	// What the transport absorbed along the way.
+	cs := proxy.Stats()
+	fmt.Printf("chaos injected: %d drops, %d delays, %d garbles over %d connection(s)\n",
+		cs.Drops, cs.Delays, cs.Garbles, cs.Conns)
+	fmt.Println(pool.Stats().String())
 }

@@ -97,8 +97,18 @@ func (b *Bench) Validate() error {
 // EMMeasure runs a workload on one domain and measures the received EM
 // peak in the bench band: the paper's GA fitness observable.
 func (b *Bench) EMMeasure(d *platform.Domain, l platform.Load) (*instrument.Measurement, error) {
+	return b.EMMeasureN(d, l, b.Samples)
+}
+
+// EMMeasureN is EMMeasure with an explicit averaging count, for callers
+// that vary the sample count per request (the lab daemon's MEASURE
+// command) without mutating — or copying — the shared bench.
+func (b *Bench) EMMeasureN(d *platform.Domain, l platform.Load, samples int) (*instrument.Measurement, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("core: %d samples", samples)
 	}
 	freqs, _, iAmp, _, err := d.Spectra(l, b.Dt, b.N)
 	if err != nil {
@@ -110,7 +120,7 @@ func (b *Bench) EMMeasure(d *platform.Domain, l platform.Load) (*instrument.Meas
 	if err != nil {
 		return nil, err
 	}
-	return b.Analyzer.MeasurePeak(freqs, watts, b.Band.Lo, b.Band.Hi, b.Samples)
+	return b.Analyzer.MeasurePeak(freqs, watts, b.Band.Lo, b.Band.Hi, samples)
 }
 
 // EMMeasurer adapts EMMeasure into a GA fitness function: fitness is the

@@ -51,7 +51,9 @@ type Config struct {
 	// collected by population index — so any setting yields bit-identical
 	// Results as long as the Measurer is order-independent (the simulated
 	// bench instruments are; see internal/detrand). The Measurer must also
-	// be safe for concurrent use when Parallelism > 1.
+	// be safe for concurrent use when Parallelism > 1: the local bench
+	// measurers are, and remote measurement gets there via lab.Pool (one
+	// pooled session per concurrent evaluation; see internal/lab).
 	Parallelism int
 
 	// InitialPopulation optionally seeds the first generation (a

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ga"
+	"repro/internal/isa"
 	"repro/internal/platform"
 	"repro/internal/workload"
 )
@@ -283,46 +285,82 @@ func TestRemoteVmin(t *testing.T) {
 	}
 }
 
-// Two workstations talking to the same daemon concurrently must not corrupt
-// the shared instruments (run under -race). The daemon models one physical
-// target, so only one client owns the load/run slot; the other drives
-// slot-free commands (sweeps) at the same time.
+// Two workstations talking to the same daemon concurrently must not
+// corrupt each other or the shared instruments (run under -race). Each
+// session owns its own load/run slot, so both clients interleave full
+// LOAD/RUN/MEASURE cycles on the SAME domain with DIFFERENT programs —
+// and each must read back exactly the measurement its own program
+// produces on a fault-free serial bench. A third client hammers domain
+// setpoints and sweeps at the same time on the other domain.
 func TestConcurrentClients(t *testing.T) {
-	addr, _ := startServer(t)
-	done := make(chan error, 2)
-	go func() {
+	addr, b := startServer(t)
+	d, err := b.Platform.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := d.Spec.Pool()
+
+	// Two distinct programs and their expected fault-free measurements,
+	// computed on an independent identical bench.
+	probe, err := workload.Probe().Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]isa.Inst, len(probe))
+	for i, in := range probe {
+		rev[len(probe)-1-i] = in
+	}
+	refPlat, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBench, err := core.NewBench(refPlat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDom, err := refPlat.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := func(seq []isa.Inst) float64 {
+		m, err := refBench.EMMeasureN(refDom, platform.Load{Seq: seq, ActiveCores: 2}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.PeakDBm
+	}
+	wantProbe, wantRev := expect(probe), expect(rev)
+
+	cycle := func(seq []isa.Inst, want float64) error {
 		c, err := Dial(addr, 2*time.Second)
 		if err != nil {
-			done <- err
-			return
+			return err
 		}
 		defer c.Close()
-		pool := platform.Spec{ISA: 0}.Pool()
-		seq, err := workload.Probe().Build(pool)
-		if err != nil {
-			done <- err
-			return
-		}
 		for rep := 0; rep < 3; rep++ {
 			if err := c.Load(platform.DomainA72, 2, pool, seq); err != nil {
-				done <- err
-				return
+				return err
 			}
 			if err := c.Run(); err != nil {
-				done <- err
-				return
+				return err
 			}
-			if _, err := c.Measure(2); err != nil {
-				done <- err
-				return
+			m, err := c.Measure(2)
+			if err != nil {
+				return err
+			}
+			if m.PeakDBm != want {
+				return fmt.Errorf("session measured %v, want its own program's %v", m.PeakDBm, want)
 			}
 			if err := c.Stop(); err != nil {
-				done <- err
-				return
+				return err
 			}
 		}
-		done <- nil
-	}()
+		return nil
+	}
+
+	done := make(chan error, 3)
+	go func() { done <- cycle(probe, wantProbe) }()
+	go func() { done <- cycle(rev, wantRev) }()
 	go func() {
 		c, err := Dial(addr, 2*time.Second)
 		if err != nil {
@@ -331,14 +369,22 @@ func TestConcurrentClients(t *testing.T) {
 		}
 		defer c.Close()
 		for rep := 0; rep < 2; rep++ {
+			if err := c.SetCores(platform.DomainA53, 2); err != nil {
+				done <- err
+				return
+			}
 			if _, _, _, err := c.Sweep(platform.DomainA53, 1); err != nil {
+				done <- err
+				return
+			}
+			if err := c.Reset(platform.DomainA53); err != nil {
 				done <- err
 				return
 			}
 		}
 		done <- nil
 	}()
-	for i := 0; i < 2; i++ {
+	for i := 0; i < 3; i++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}

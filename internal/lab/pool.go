@@ -1,0 +1,126 @@
+package lab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ga"
+	"repro/internal/isa"
+)
+
+// Pool is a fixed-size set of lab clients to one daemon. Each concurrent
+// evaluation checks a client out, runs its command cycle on it, and
+// returns it — so N GA workers drive N independent sessions instead of
+// serializing on one stateful connection. Every client carries the full
+// resilience envelope (deadlines, retry, reconnect, replay), and because
+// the daemon's workload slot is per session, interleaved LOAD/RUN/MEASURE
+// cycles from different clients cannot clobber each other.
+type Pool struct {
+	free chan *Client
+
+	mu      sync.Mutex
+	clients []*Client
+	closed  bool
+}
+
+// NewPool dials size concurrent clients (size < 1 is treated as 1). If any
+// dial fails, the already-connected clients are closed and the error
+// returned.
+func NewPool(addr string, size int, opts Options) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{free: make(chan *Client, size)}
+	for i := 0; i < size; i++ {
+		c, err := DialOptions(addr, opts)
+		if err != nil {
+			_ = p.Close()
+			return nil, fmt.Errorf("lab: pool client %d: %w", i, err)
+		}
+		p.clients = append(p.clients, c)
+		p.free <- c
+	}
+	return p, nil
+}
+
+// Size returns the number of pooled clients.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clients)
+}
+
+// Do checks a client out of the pool, runs fn on it, and returns it.
+func (p *Pool) Do(fn func(*Client) error) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return fn(c)
+}
+
+// Measurer returns a concurrency-safe GA fitness function: each evaluation
+// borrows a pooled client for its load/run/measure/stop cycle. Fitness is
+// content-deterministic on the target (internal/detrand), so which client
+// measures which individual — and any retries in between — cannot change
+// the result, and a pooled run is bit-identical to a serial one.
+func (p *Pool) Measurer(domain string, cores, samples int, pool *isa.Pool) ga.Measurer {
+	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
+		var fit, dom float64
+		err := p.Do(func(c *Client) error {
+			var err error
+			fit, dom, err = measureOn(c, domain, cores, samples, pool, seq)
+			return err
+		})
+		return fit, dom, err
+	})
+}
+
+// Stats aggregates the transport counters of every pooled client.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out Stats
+	for _, c := range p.clients {
+		out.merge(c.Stats())
+	}
+	return out
+}
+
+// Close closes every pooled client (waiting for checked-out clients to be
+// returned) and marks the pool unusable.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	clients := p.clients
+	p.mu.Unlock()
+
+	// Drain the free channel so in-flight Do calls finish first.
+	var firstErr error
+	deadline := time.After(30 * time.Second)
+	for range clients {
+		select {
+		case <-p.free:
+		case <-deadline:
+			firstErr = fmt.Errorf("lab: pool close timed out waiting for busy clients")
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -4,7 +4,15 @@
 // take the measurement, and then kills the binary. Here the transport is a
 // line-oriented TCP protocol instead of SSH plus an instrument bus, but the
 // control flow — and the failure modes a distributed measurement loop must
-// tolerate — are the same.
+// tolerate — are the same, and the workstation side is built to tolerate
+// them: every command runs under a read/write deadline, transport faults
+// (dropped connections, timeouts, corrupted replies) trigger a bounded
+// exponential-backoff reconnect that replays the session's recorded
+// setpoints (LOAD/RUN plus SETCLOCK/SETVOLTS/SETCORES) before retrying,
+// and a Pool of concurrent clients lets the GA evaluate a whole population
+// in parallel against one daemon (`gahunt -remote -j N`). Target-side
+// `ERR` replies are never retried — the command reached the target and was
+// rejected; only stream integrity failures are.
 //
 // Protocol (requests are single lines; the program body follows LOAD):
 //
@@ -19,9 +27,20 @@
 //	SETVOLTS <domain> <v>           supply control
 //	RESET <domain>                  restore nominal domain state
 //	INFO                            platform and domain inventory
-//	QUIT                            close the session
+//	QUIT                            close the session (replies "OK bye")
 //
-// Responses are "OK ..." or "ERR <message>".
+// Responses are "OK ..." or "ERR <message>". An ERR reply leaves the
+// session usable; a malformed line (or one longer than maxLineLen) closes
+// it. The loaded/running workload slot is per connection — concurrent
+// sessions each own their own slot and the daemon serializes conflicting
+// domain access internally — so N pooled clients can interleave
+// LOAD/RUN/MEASURE cycles without clobbering each other.
+//
+// All commands are idempotent (LOAD replaces the slot, RUN/STOP set a
+// flag, SETx write absolute setpoints, MEASURE/SWEEP/VMIN are
+// content-deterministic reads — see internal/detrand), which is what makes
+// the client's retry-after-reconnect safe even when a reply was lost after
+// the target executed the command.
 package lab
 
 import (
@@ -37,6 +56,15 @@ const (
 	replyErr = "ERR"
 )
 
+// Protocol hard limits: a LOAD body may declare at most maxProgramLines
+// lines, and no single line (command, program or reply) may exceed
+// maxLineLen bytes — a peer that sends more is desynced or hostile and the
+// connection is closed rather than buffering without bound.
+const (
+	maxProgramLines = 10000
+	maxLineLen      = 1 << 16
+)
+
 // writeLine sends one protocol line.
 func writeLine(w *bufio.Writer, format string, args ...any) error {
 	if _, err := fmt.Fprintf(w, format+"\n", args...); err != nil {
@@ -45,13 +73,25 @@ func writeLine(w *bufio.Writer, format string, args ...any) error {
 	return w.Flush()
 }
 
-// readLine reads one protocol line without the trailing newline.
+// readLine reads one protocol line without the trailing newline. Lines
+// longer than maxLineLen are an error: the stream cannot be resynchronized
+// past an oversized line, so callers must drop the connection.
 func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
+	var b strings.Builder
+	for {
+		frag, err := r.ReadSlice('\n')
+		b.Write(frag)
+		if b.Len() > maxLineLen {
+			return "", fmt.Errorf("lab: line exceeds %d bytes", maxLineLen)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(b.String(), "\r\n"), nil
 	}
-	return strings.TrimRight(line, "\r\n"), nil
 }
 
 // parseReply splits a response into its code and payload.

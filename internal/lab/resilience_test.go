@@ -1,0 +1,471 @@
+package lab
+
+import (
+	"bufio"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/lab/chaos"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// fastOpts is a resilience envelope tuned for tests: short deadlines,
+// aggressive retry, minimal backoff.
+func fastOpts() Options {
+	return Options{
+		DialTimeout: 2 * time.Second,
+		IOTimeout:   500 * time.Millisecond,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+// directBench builds an independent bench identical to startServer's, for
+// computing the exact measurement a remote client must observe (the
+// instruments are content-deterministic).
+func directBench(t *testing.T) (*core.Bench, *platform.Domain) {
+	t.Helper()
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBench(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Samples = 3
+	d, err := p.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, d
+}
+
+// TestLoadDesyncRegression is the satellite regression: a LOAD rejected
+// before its body was read (unknown domain here) must still drain the
+// declared body lines — otherwise the server dispatches assembly as
+// commands and every later reply is off by the body length. On the old
+// server the INFO below reads back "ERR unknown command ..." instead of
+// the platform inventory.
+func TestLoadDesyncRegression(t *testing.T) {
+	addr, _ := startServer(t)
+	rc := rawDial(t, addr)
+	// Header plus the three body lines a well-behaved client flushes
+	// together; the domain does not exist.
+	if err := writeLine(rc.w, "LOAD no-such-domain 2 3\nADD R1, R2\nMUL R3, R4\nADD R5, R6"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := readLine(rc.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("bad LOAD accepted: %q", reply)
+	}
+	// The very next command must round-trip: its reply must be the INFO
+	// payload, not a leftover complaint about a swallowed assembly line.
+	reply = rc.send("INFO")
+	if !strings.HasPrefix(reply, "OK juno") {
+		t.Fatalf("session desynced after rejected LOAD: INFO -> %q", reply)
+	}
+	// Same for a LOAD rejected on the cores argument.
+	if err := writeLine(rc.w, "LOAD cortex-a72 99 2\nADD R1, R2\nMUL R3, R4"); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = readLine(rc.r); err != nil || !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("bad-cores LOAD -> %q, %v", reply, err)
+	}
+	if reply = rc.send("INFO"); !strings.HasPrefix(reply, "OK juno") {
+		t.Fatalf("session desynced after bad-cores LOAD: INFO -> %q", reply)
+	}
+}
+
+// TestReconnectReplay severs the connection between RUN and MEASURE and
+// checks the client transparently reconnects, replays the session
+// (setpoints + LOAD + RUN) and completes the measurement with the exact
+// value a fault-free session yields.
+func TestReconnectReplay(t *testing.T) {
+	addr, _ := startServer(t)
+	proxy, err := chaos.New(addr, chaos.Config{Seed: 1}) // no probabilistic faults
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c, err := DialOptions(proxy.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	db, dd := directBench(t)
+	pool := dd.Spec.Pool()
+	seq, err := workload.Probe().Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetClock(platform.DomainA72, 600e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(platform.DomainA72, 2, pool, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the live connection: the next command must reconnect and
+	// replay SETCORES + LOAD + RUN before retrying, or the target answers
+	// "no workload running".
+	proxy.KillActive()
+	m, err := c.Measure(3)
+	if err != nil {
+		t.Fatalf("measure after severed connection: %v", err)
+	}
+
+	// SETCLOCK was replayed too, so the measurement must equal a direct
+	// one at the same DVFS point.
+	if err := dd.SetClockHz(600e6); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.EMMeasureN(dd, platform.Load{Seq: seq, ActiveCores: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakDBm != want.PeakDBm || m.PeakHz != want.PeakHz {
+		t.Fatalf("replayed measurement (%v, %v) != direct (%v, %v)",
+			m.PeakDBm, m.PeakHz, want.PeakDBm, want.PeakHz)
+	}
+
+	st := c.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("stats: %d reconnects, want >= 1", st.Reconnects)
+	}
+	if st.Replays < 1 {
+		t.Fatalf("stats: %d replays, want >= 1", st.Replays)
+	}
+	if st.Commands["MEASURE"].Retries < 1 {
+		t.Fatalf("stats: MEASURE retries = %d, want >= 1", st.Commands["MEASURE"].Retries)
+	}
+}
+
+// TestDeadlineExpiry points a client at a listener that never replies: the
+// per-command deadline must fire and the command fail after MaxAttempts,
+// quickly, instead of hanging forever.
+func TestDeadlineExpiry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, never reply
+		}
+	}()
+
+	opts := fastOpts()
+	opts.IOTimeout = 100 * time.Millisecond
+	opts.MaxAttempts = 2
+	c, err := DialOptions(ln.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, _, err = c.Info()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("INFO against a mute server succeeded")
+	}
+	if IsTargetError(err) {
+		t.Fatalf("deadline expiry classified as target error: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline path took %v", elapsed)
+	}
+	st := c.Stats()
+	if st.Commands["INFO"].Retries != 1 || st.Commands["INFO"].Errors != 1 {
+		t.Fatalf("INFO stats = %+v, want 1 retry, 1 error", st.Commands["INFO"])
+	}
+}
+
+// TestTargetErrorNotRetried: an ERR reply is a healthy transport carrying
+// a rejected command — it must surface immediately, not burn retries.
+func TestTargetErrorNotRetried(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.SetCores(platform.DomainA72, 99)
+	if err == nil {
+		t.Fatal("bad core count accepted")
+	}
+	if !IsTargetError(err) {
+		t.Fatalf("ERR reply not classified as target error: %v", err)
+	}
+	st := c.Stats()
+	if st.Commands["SETCORES"].Retries != 0 {
+		t.Fatalf("target error was retried: %+v", st.Commands["SETCORES"])
+	}
+	// The session is still healthy.
+	if _, _, err := c.Info(); err != nil {
+		t.Fatalf("session dead after target error: %v", err)
+	}
+}
+
+// TestGarbledPayloadRetried: an OK reply whose payload does not parse
+// means the stream is suspect; the client must reconnect and retry rather
+// than surface a parse error. A scripted fake server returns a truncated
+// MEASURE payload once, then a well-formed one.
+func TestGarbledPayloadRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conns := make(chan int, 16)
+	go func() {
+		n := 0
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n++
+			conns <- n
+			go func(conn net.Conn, id int) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					if _, err := readLine(r); err != nil {
+						return
+					}
+					reply := "OK -40.5 7e+07 0.25"
+					if id == 1 {
+						reply = "OK -40.5" // truncated payload
+					}
+					if err := writeLine(w, "%s", reply); err != nil {
+						return
+					}
+				}
+			}(conn, n)
+		}
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m, err := c.Measure(3)
+	if err != nil {
+		t.Fatalf("measure through garbled payload: %v", err)
+	}
+	if m.PeakDBm != -40.5 || m.PeakHz != 7e7 || m.StdevDBm != 0.25 {
+		t.Fatalf("measurement %+v", m)
+	}
+	st := c.Stats()
+	if st.Commands["MEASURE"].Retries < 1 || st.Reconnects < 1 {
+		t.Fatalf("garbled payload did not force retry+reconnect: %+v", st)
+	}
+}
+
+// TestCloseReadsQuitReply: Close must round-trip QUIT (send and read the
+// "OK bye") so the daemon sees an orderly teardown.
+func TestCloseReadsQuitReply(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := c.Stats()
+	cs := st.Commands["QUIT"]
+	if cs.Calls != 1 || cs.Errors != 0 {
+		t.Fatalf("QUIT stats %+v: reply was not read back", cs)
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestServerShutdown: Shutdown must close the listener (Serve returns
+// nil, not an accept error) and sever live handler connections.
+func TestServerShutdown(t *testing.T) {
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBench(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	rc := rawDial(t, ln.Addr().String())
+	if reply := rc.send("INFO"); !strings.HasPrefix(reply, "OK") {
+		t.Fatalf("INFO -> %q", reply)
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Shutdown, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// The live session was severed.
+	_ = rc.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if err := writeLine(rc.w, "INFO"); err == nil {
+		if _, err := readLine(rc.r); err == nil {
+			t.Fatal("handler still answering after Shutdown")
+		}
+	}
+	// Serving again on a closed server refuses immediately.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if err := srv.Serve(ln2); err != ErrServerClosed {
+		t.Fatalf("Serve after Shutdown = %v, want ErrServerClosed", err)
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestPoolBasics: checkout/return, stats aggregation, close semantics.
+func TestPoolBasics(t *testing.T) {
+	addr, _ := startServer(t)
+	pool, err := NewPool(addr, 3, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 3 {
+		t.Fatalf("size %d", pool.Size())
+	}
+	for i := 0; i < 5; i++ {
+		if err := pool.Do(func(c *Client) error {
+			_, _, err := c.Info()
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Dials != 3 {
+		t.Fatalf("pool dials = %d, want 3", st.Dials)
+	}
+	if st.Commands["INFO"].Calls != 5 {
+		t.Fatalf("pooled INFO calls = %d, want 5", st.Commands["INFO"].Calls)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := pool.Do(func(*Client) error { return nil }); err != ErrClosed {
+		t.Fatalf("Do after close = %v, want ErrClosed", err)
+	}
+	if _, err := NewPool("127.0.0.1:1", 2, Options{DialTimeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("pool to closed port succeeded")
+	}
+}
+
+// TestPoolChaosGAMatchesDirect is the PR's acceptance gate: a full GA run
+// over 8 pooled clients, through a chaos proxy injecting seeded drops,
+// delays past the I/O deadline and garbled replies, must produce exactly
+// the result of a serial, fault-free, in-process run — faults and
+// parallelism may cost wall-clock, never fidelity.
+func TestPoolChaosGAMatchesDirect(t *testing.T) {
+	// Direct, serial reference run.
+	db, dd := directBench(t)
+	ipool := dd.Spec.Pool()
+	cfg := ga.DefaultConfig(ipool)
+	cfg.PopulationSize = 8
+	cfg.Generations = 4
+	cfg.Parallelism = 1
+	want, err := ga.Run(cfg, db.EMMeasurer(dd, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote run: pool of 8 through the chaos proxy.
+	addr, _ := startServer(t)
+	proxy, err := chaos.New(addr, chaos.Config{
+		Seed:       42,
+		DropRate:   0.05,
+		GarbleRate: 0.04,
+		DelayRate:  0.005,
+		Delay:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	pool, err := NewPool(proxy.Addr(), 8, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rcfg := cfg
+	rcfg.Parallelism = 8
+	got, err := ga.Run(rcfg, pool.Measurer(platform.DomainA72, 2, 3, ipool), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Best.Fitness != want.Best.Fitness {
+		t.Fatalf("remote best fitness %v != direct %v", got.Best.Fitness, want.Best.Fitness)
+	}
+	if !reflect.DeepEqual(got.History, want.History) {
+		t.Fatal("remote GA history diverged from direct run")
+	}
+	cs := proxy.Stats()
+	if cs.Drops+cs.Garbles+cs.Delays == 0 {
+		t.Fatal("chaos proxy injected no faults; test is vacuous")
+	}
+	st := pool.Stats()
+	if st.Reconnects == 0 {
+		t.Fatal("transport never reconnected; test is vacuous")
+	}
+	t.Logf("chaos: %+v; transport: %d dials, %d reconnects, %d replays",
+		cs, st.Dials, st.Reconnects, st.Replays)
+}

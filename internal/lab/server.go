@@ -2,10 +2,13 @@ package lab
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -16,11 +19,36 @@ import (
 // Server is the target-machine daemon: it owns the platform under test and
 // the instruments physically attached to the bench, and executes the
 // workstation's commands.
+//
+// Each connection is an independent session with its own loaded/running
+// workload slot, so pooled workstation clients can interleave
+// LOAD/RUN/MEASURE cycles freely (the daemon time-slices the one physical
+// target; the simulated instruments are content-deterministic, so the
+// interleaving cannot change any reading). Domain state is guarded by a
+// per-domain reader/writer lock: measurements (MEASURE/SWEEP/VMIN) share
+// the domain, setpoint changes (SETCLOCK/SETVOLTS/SETCORES/RESET) take it
+// exclusively — a setpoint can never change in the middle of a
+// measurement.
 type Server struct {
 	Bench *core.Bench
 
-	mu      sync.Mutex
-	current *loaded // the workload currently loaded/running
+	mu        sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	domLocks  map[string]*sync.RWMutex
+	stats     map[string]*ServerCommandStats
+}
+
+// ServerCommandStats counts executions of one protocol verb.
+type ServerCommandStats struct {
+	Calls  int64
+	Errors int64
+}
+
+// session is the per-connection state: the workload slot this client owns.
+type session struct {
+	current *loaded
 	running bool
 }
 
@@ -37,30 +65,180 @@ func NewServer(b *core.Bench) (*Server, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{Bench: b}, nil
+	return &Server{
+		Bench:     b,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		domLocks:  make(map[string]*sync.RWMutex),
+		stats:     make(map[string]*ServerCommandStats),
+	}, nil
 }
 
-// Serve accepts connections until the listener is closed.
+// Serve accepts connections until the listener is closed or Shutdown is
+// called. Transient Accept errors are retried with backoff rather than
+// tearing the daemon down; after Shutdown, Serve returns nil.
 func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	consecutive := 0
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return err
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			consecutive++
+			if consecutive > 5 {
+				return fmt.Errorf("lab: accept: %w", err)
+			}
+			time.Sleep(time.Duration(consecutive) * 10 * time.Millisecond)
+			continue
+		}
+		consecutive = 0
+		if !s.trackConn(conn) {
+			_ = conn.Close()
+			return nil
 		}
 		go s.handle(conn)
 	}
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Shutdown stops the daemon: no new connections are accepted, every
+// listener passed to Serve is closed, and all live handler connections are
+// severed. Serve returns nil after Shutdown.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, ln := range lns {
+		if err := ln.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	return firstErr
+}
+
+// Stats returns a snapshot of the per-command execution counters.
+func (s *Server) Stats() map[string]ServerCommandStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]ServerCommandStats, len(s.stats))
+	for verb, cs := range s.stats {
+		out[verb] = *cs
+	}
+	return out
+}
+
+// StatsString renders the command counters as a small table.
+func (s *Server) StatsString() string {
+	stats := s.Stats()
+	verbs := make([]string, 0, len(stats))
+	for v := range stats {
+		verbs = append(verbs, v)
+	}
+	sort.Strings(verbs)
+	var b strings.Builder
+	b.WriteString("lab server command counters:")
+	if len(verbs) == 0 {
+		b.WriteString(" (none)")
+	}
+	for _, v := range verbs {
+		cs := stats[v]
+		fmt.Fprintf(&b, "\n  %-8s %6d calls  %3d errors", v, cs.Calls, cs.Errors)
+	}
+	return b.String()
+}
+
+func (s *Server) countCmd(verb string, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.stats[verb]
+	if cs == nil {
+		cs = &ServerCommandStats{}
+		s.stats[verb] = cs
+	}
+	cs.Calls++
+	if failed {
+		cs.Errors++
+	}
+}
+
+// domLock returns the reader/writer lock guarding one domain's state.
+func (s *Server) domLock(name string) *sync.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.domLocks[name]
+	if l == nil {
+		l = &sync.RWMutex{}
+		s.domLocks[name] = l
+	}
+	return l
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		s.untrackConn(conn)
+		_ = conn.Close()
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	sess := &session{}
 	for {
 		line, err := readLine(r)
 		if err != nil {
 			return
 		}
-		quit, err := s.dispatch(r, w, line)
+		quit, err := s.dispatch(sess, r, w, line)
 		if err != nil {
 			if werr := writeLine(w, "%s %v", replyErr, err); werr != nil {
 				return
@@ -74,29 +252,31 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // dispatch executes one command; successful commands write their own OK.
-func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
+func (s *Server) dispatch(sess *session, r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return false, fmt.Errorf("empty command")
 	}
-	switch fields[0] {
+	verb := fields[0]
+	defer func() { s.countCmd(verb, err != nil) }()
+	switch verb {
 	case "QUIT":
 		_ = writeLine(w, "%s bye", replyOK)
 		return true, nil
 	case "INFO":
 		return false, s.cmdInfo(w)
 	case "LOAD":
-		return false, s.cmdLoad(r, w, fields)
+		return false, s.cmdLoad(sess, r, w, fields)
 	case "RUN":
-		return false, s.cmdRun(w)
+		return false, s.cmdRun(sess, w)
 	case "STOP":
-		return false, s.cmdStop(w)
+		return false, s.cmdStop(sess, w)
 	case "MEASURE":
-		return false, s.cmdMeasure(w, fields)
+		return false, s.cmdMeasure(sess, w, fields)
 	case "SWEEP":
 		return false, s.cmdSweep(w, fields)
 	case "VMIN":
-		return false, s.cmdVmin(w, fields)
+		return false, s.cmdVmin(sess, w, fields)
 	case "SETCLOCK":
 		return false, s.cmdSet(w, fields, func(d *platform.Domain, v float64) error {
 			return d.SetClockHz(v)
@@ -110,7 +290,7 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 	case "RESET":
 		return false, s.cmdReset(w, fields)
 	default:
-		return false, fmt.Errorf("unknown command %q", fields[0])
+		return false, fmt.Errorf("unknown command %q", verb)
 	}
 }
 
@@ -126,23 +306,48 @@ func (s *Server) cmdInfo(w *bufio.Writer) error {
 	return writeLine(w, "%s %s %s", replyOK, s.Bench.Platform.Name, strings.Join(names, " "))
 }
 
-func (s *Server) cmdLoad(r *bufio.Reader, w *bufio.Writer, fields []string) error {
+// cmdLoad reads a LOAD header and its program body. The client flushes the
+// body together with the header, so on any validation error detected
+// before the body has been consumed the declared lines MUST still be
+// drained — otherwise the daemon would dispatch assembly lines as commands
+// and the session would desync permanently.
+func (s *Server) cmdLoad(sess *session, r *bufio.Reader, w *bufio.Writer, fields []string) error {
 	if len(fields) != 4 {
 		return fmt.Errorf("usage: LOAD <domain> <cores> <lines>")
 	}
+	lines, linesErr := intField(fields, 3, "lines")
+	canDrain := linesErr == nil && lines >= 1 && lines <= maxProgramLines
+	// drain consumes the program body the client already sent, keeping the
+	// stream in sync while the command itself fails. Only possible when
+	// the declared line count is sane.
+	drain := func() {
+		if !canDrain {
+			return
+		}
+		for i := 0; i < lines; i++ {
+			if _, err := readLine(r); err != nil {
+				return
+			}
+		}
+	}
 	d, err := s.domain(fields[1])
 	if err != nil {
+		drain()
 		return err
 	}
 	cores, err := intField(fields, 2, "cores")
 	if err != nil {
+		drain()
 		return err
 	}
-	lines, err := intField(fields, 3, "lines")
-	if err != nil {
-		return err
+	if cores < 1 || cores > d.Spec.TotalCores {
+		drain()
+		return fmt.Errorf("core count %d out of range [1, %d]", cores, d.Spec.TotalCores)
 	}
-	if lines < 1 || lines > 10000 {
+	if linesErr != nil {
+		return linesErr
+	}
+	if !canDrain {
 		return fmt.Errorf("line count %d out of range", lines)
 	}
 	var body strings.Builder
@@ -161,31 +366,25 @@ func (s *Server) cmdLoad(r *bufio.Reader, w *bufio.Writer, fields []string) erro
 	if len(seq) == 0 {
 		return fmt.Errorf("program has no instructions")
 	}
-	s.mu.Lock()
-	s.current = &loaded{domain: d, load: platform.Load{Seq: seq, ActiveCores: cores}}
-	s.running = false
-	s.mu.Unlock()
+	sess.current = &loaded{domain: d, load: platform.Load{Seq: seq, ActiveCores: cores}}
+	sess.running = false
 	return writeLine(w, "%s loaded %d", replyOK, len(seq))
 }
 
-func (s *Server) cmdRun(w *bufio.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.current == nil {
+func (s *Server) cmdRun(sess *session, w *bufio.Writer) error {
+	if sess.current == nil {
 		return fmt.Errorf("nothing loaded")
 	}
-	s.running = true
+	sess.running = true
 	return writeLine(w, "%s running", replyOK)
 }
 
-func (s *Server) cmdStop(w *bufio.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.running = false
+func (s *Server) cmdStop(sess *session, w *bufio.Writer) error {
+	sess.running = false
 	return writeLine(w, "%s stopped", replyOK)
 }
 
-func (s *Server) cmdMeasure(w *bufio.Writer, fields []string) error {
+func (s *Server) cmdMeasure(sess *session, w *bufio.Writer, fields []string) error {
 	samples := s.Bench.Samples
 	if len(fields) > 1 {
 		var err error
@@ -197,15 +396,14 @@ func (s *Server) cmdMeasure(w *bufio.Writer, fields []string) error {
 			return fmt.Errorf("sample count %d out of range", samples)
 		}
 	}
-	s.mu.Lock()
-	cur, running := s.current, s.running
-	s.mu.Unlock()
-	if cur == nil || !running {
+	if sess.current == nil || !sess.running {
 		return fmt.Errorf("no workload running")
 	}
-	b := *s.Bench
-	b.Samples = samples
-	m, err := b.EMMeasure(cur.domain, cur.load)
+	cur := sess.current
+	l := s.domLock(cur.domain.Spec.Name)
+	l.RLock()
+	m, err := s.Bench.EMMeasureN(cur.domain, cur.load, samples)
+	l.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -224,7 +422,10 @@ func (s *Server) cmdSweep(w *bufio.Writer, fields []string) error {
 	if err != nil {
 		return err
 	}
+	l := s.domLock(d.Spec.Name)
+	l.RLock()
 	res, err := s.Bench.FastResonanceSweep(d, cores)
+	l.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -233,7 +434,7 @@ func (s *Server) cmdSweep(w *bufio.Writer, fields []string) error {
 
 // cmdVmin runs a V_MIN search (optionally repeated) on the currently
 // loaded workload and reports the worst observed V_MIN.
-func (s *Server) cmdVmin(w *bufio.Writer, fields []string) error {
+func (s *Server) cmdVmin(sess *session, w *bufio.Writer, fields []string) error {
 	repeats := 1
 	if len(fields) > 1 {
 		var err error
@@ -245,14 +446,15 @@ func (s *Server) cmdVmin(w *bufio.Writer, fields []string) error {
 			return fmt.Errorf("repeat count %d out of range", repeats)
 		}
 	}
-	s.mu.Lock()
-	cur := s.current
-	s.mu.Unlock()
-	if cur == nil {
+	if sess.current == nil {
 		return fmt.Errorf("nothing loaded")
 	}
+	cur := sess.current
+	l := s.domLock(cur.domain.Spec.Name)
+	l.RLock()
 	tester := vmin.NewTester(cur.domain, 1)
 	res, _, err := tester.Repeat(cur.load, repeats)
+	l.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -271,7 +473,11 @@ func (s *Server) cmdSet(w *bufio.Writer, fields []string, set func(*platform.Dom
 	if err != nil {
 		return err
 	}
-	if err := set(d, v); err != nil {
+	l := s.domLock(d.Spec.Name)
+	l.Lock()
+	err = set(d, v)
+	l.Unlock()
+	if err != nil {
 		return err
 	}
 	return writeLine(w, "%s", replyOK)
@@ -289,7 +495,11 @@ func (s *Server) cmdSetCores(w *bufio.Writer, fields []string) error {
 	if err != nil {
 		return err
 	}
-	if err := d.SetPoweredCores(n); err != nil {
+	l := s.domLock(d.Spec.Name)
+	l.Lock()
+	err = d.SetPoweredCores(n)
+	l.Unlock()
+	if err != nil {
 		return err
 	}
 	return writeLine(w, "%s", replyOK)
@@ -303,6 +513,9 @@ func (s *Server) cmdReset(w *bufio.Writer, fields []string) error {
 	if err != nil {
 		return err
 	}
+	l := s.domLock(d.Spec.Name)
+	l.Lock()
 	d.Reset()
+	l.Unlock()
 	return writeLine(w, "%s", replyOK)
 }
