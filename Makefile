@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 race vet bench chaos fmt
+.PHONY: all build test tier1 race vet bench bench-all chaos fmt
 
 all: build test
 
@@ -31,7 +31,14 @@ race: tier1 chaos
 vet:
 	$(GO) vet ./...
 
+# Hot-path benchmarks (cold vs trace-cached sweep, shmoo, spectra and
+# fitness evaluation), recorded as BENCH_pr3.json for regression diffing.
 bench:
+	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo' \
+		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+
+# The full benchmark suite, one iteration each (smoke).
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 fmt:

@@ -1,0 +1,170 @@
+// Command benchjson turns `go test -bench -benchmem` output into a JSON
+// record of the measurement hot path's cost: ns/op, B/op and allocs/op per
+// benchmark, plus cold/cached speedup ratios for every benchmark that has
+// both variants. `make bench` pipes the PR's hot-path benchmarks through it
+// to produce BENCH_pr3.json, so performance regressions show up as a diff
+// rather than a feeling.
+//
+// Usage:
+//
+//	go test -bench 'Sweep|Shmoo|Evaluation' -benchmem -run '^$' . | benchjson [-o out.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Ratio is the cold/cached speedup for one benchmark family.
+type Ratio struct {
+	Name          string  `json:"name"`
+	Speedup       float64 `json:"speedup"`
+	AllocsSpeedup float64 `json:"allocs_speedup"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+	Ratios     []Ratio `json:"cold_vs_cached"`
+}
+
+// parseLine parses one `Benchmark.../variant-N  iters  ns/op ...` line.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	// Strip the trailing -GOMAXPROCS suffix from the name.
+	e.Name = fields[0]
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name = e.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = int64(v)
+		case "allocs/op":
+			e.AllocsPerOp = int64(v)
+		}
+	}
+	if e.NsPerOp == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+func main() {
+	out := "BENCH_pr3.json"
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--out":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -o needs a path")
+				os.Exit(2)
+			}
+			i++
+			out = args[i]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[i])
+			os.Exit(2)
+		}
+	}
+
+	rep := Report{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if e, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Pair .../cold with .../cached variants into speedup ratios.
+	byName := make(map[string]Entry, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		byName[e.Name] = e
+	}
+	for _, e := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(e.Name, "/cold")
+		if !ok {
+			continue
+		}
+		cached, ok := byName[base+"/cached"]
+		if !ok || cached.NsPerOp == 0 {
+			continue
+		}
+		r := Ratio{Name: base, Speedup: e.NsPerOp / cached.NsPerOp}
+		if cached.AllocsPerOp > 0 {
+			r.AllocsSpeedup = float64(e.AllocsPerOp) / float64(cached.AllocsPerOp)
+		}
+		rep.Ratios = append(rep.Ratios, r)
+	}
+	sort.Slice(rep.Ratios, func(i, j int) bool { return rep.Ratios[i].Name < rep.Ratios[j].Name })
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Ratios {
+		fmt.Printf("%-40s %5.2fx faster cached\n", r.Name, r.Speedup)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Benchmarks))
+}

@@ -30,7 +30,9 @@ import (
 	"repro/internal/lab"
 	"repro/internal/par"
 	"repro/internal/platform"
+	"repro/internal/prof"
 	"repro/internal/session"
+	"repro/internal/uarch"
 )
 
 func main() {
@@ -49,9 +51,17 @@ func main() {
 		islands = flag.Int("islands", 1, "island-model populations (1 = classic single population)")
 		sess    = flag.String("session", "", "write a JSON session report to this file")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel fitness evaluations (results are identical at any setting)")
-		verbose = flag.Bool("v", false, "print evaluation statistics (transport latency/retries when -remote, spectra cache otherwise)")
+		verbose = flag.Bool("v", false, "print evaluation statistics (transport latency/retries when -remote, spectra/trace caches otherwise)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	p, err := buildPlatform(*plat)
 	if err != nil {
@@ -105,13 +115,17 @@ func main() {
 		if transportStats != nil {
 			fmt.Println(transportStats())
 		} else {
-			hits, misses := d.SpectraCacheStats()
+			hits, misses, evictions := d.SpectraCacheStats()
 			total := hits + misses
 			pct := 0.0
 			if total > 0 {
 				pct = 100 * float64(hits) / float64(total)
 			}
-			fmt.Printf("spectra cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, pct)
+			fmt.Printf("spectra cache: %d hits / %d misses / %d evictions (%.1f%% hit rate)\n",
+				hits, misses, evictions, pct)
+			ts := uarch.TraceCacheStats()
+			fmt.Printf("trace cache: %d hits / %d misses / %d extensions / %d evictions, %d entries (%d cycles held)\n",
+				ts.Hits, ts.Misses, ts.Extensions, ts.Evictions, ts.Entries, ts.Cycles)
 		}
 	}
 	if *sess != "" {

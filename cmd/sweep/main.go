@@ -18,7 +18,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/uarch"
 )
 
 func main() {
@@ -30,11 +32,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		samples = flag.Int("samples", 30, "analyzer sweeps averaged per point")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel sweep points (results are identical at any setting)")
+		verbose = flag.Bool("v", false, "print cache statistics after the sweep")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	var p *platform.Platform
-	var err error
 	switch *plat {
 	case "juno":
 		p, err = platform.JunoR2()
@@ -82,6 +92,13 @@ func main() {
 		"loop freq (MHz)", "peak (dBm)", xs, ys))
 	fmt.Printf("\nfirst-order resonance estimate: %s (peak %s)\n",
 		report.MHz(res.ResonanceHz), report.DBm(res.PeakDBm))
+	if *verbose {
+		hits, misses, evictions := d.SpectraCacheStats()
+		fmt.Printf("spectra cache: %d hits / %d misses / %d evictions\n", hits, misses, evictions)
+		ts := uarch.TraceCacheStats()
+		fmt.Printf("trace cache: %d hits / %d misses / %d extensions / %d evictions, %d entries\n",
+			ts.Hits, ts.Misses, ts.Extensions, ts.Evictions, ts.Entries)
+	}
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/platform"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/vmin"
 	"repro/internal/workload"
@@ -32,11 +33,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		shmoo   = flag.Bool("shmoo", false, "sweep the clock and report Vmin per frequency instead")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel shmoo points (results are identical at any setting)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	var p *platform.Platform
-	var err error
 	switch *plat {
 	case "juno":
 		p, err = platform.JunoR2()

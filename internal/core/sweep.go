@@ -9,7 +9,6 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/par"
 	"repro/internal/platform"
-	"repro/internal/power"
 	"repro/internal/workload"
 )
 
@@ -66,16 +65,24 @@ func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepR
 			return err
 		}
 		l := platform.Load{Seq: probe, ActiveCores: activeCores}
-		freqs, _, iAmp, ur, err := d.SpectraAt(l, b.Dt, b.N, clock)
+		// Band-filter on the loop frequency before paying for the full
+		// spectra pipeline: LoopHzAt shares SpectraAt's simulation sizing
+		// (with the trace cache warm it is nearly free), so out-of-band
+		// clock steps skip the resample + FFT + analyzer entirely and the
+		// in-band point set is unchanged.
+		loopHz, _, err := d.LoopHzAt(l, b.Dt, b.N, clock)
 		if err != nil {
 			return err
 		}
-		loopHz := power.LoopFrequency(ur, clock)
 		if loopHz <= 0 {
 			return fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
 		}
 		if loopHz < b.Band.Lo || loopHz > b.Band.Hi {
 			return nil
+		}
+		freqs, _, iAmp, _, err := d.SpectraAt(l, b.Dt, b.N, clock)
+		if err != nil {
+			return err
 		}
 		_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
 			{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},

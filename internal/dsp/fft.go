@@ -111,7 +111,7 @@ func AmplitudeSpectrum(x []float64, fs float64) (freqs, amps []float64) {
 	if n == 0 {
 		return nil, nil
 	}
-	spec := FFTReal(x)
+	spec := RFFT(x)
 	half := n/2 + 1
 	freqs = make([]float64, half)
 	amps = make([]float64, half)

@@ -1,0 +1,163 @@
+package dsp
+
+// Real-input FFT. Every signal in the pipeline — current waveforms, rail
+// voltage, EM amplitude — is real, so the full complex transform wastes
+// half its work on the conjugate-symmetric upper half. RFFT packs the N
+// reals into an N/2-point complex transform and untangles the two
+// interleaved half-spectra:
+//
+//	z[j] = x[2j] + i·x[2j+1],  Z = FFT_{m}(z),  m = N/2
+//	E[k] = (Z[k] + conj(Z[m−k]))/2        (spectrum of the even samples)
+//	O[k] = −i/2 · (Z[k] − conj(Z[m−k]))   (spectrum of the odd samples)
+//	X[k] = E[k] + w^k·O[k],  w = exp(−2πi/N),  k = 0..m (indices mod m)
+//
+// IRFFT inverts the untangling exactly: conj(X[m−k]) = E[k] − w^k·O[k], so
+// E and O recover by half-sum/half-difference and z = IFFT_m(E + i·O).
+// Odd lengths fall back to the full complex transform (Bluestein underneath)
+// and return the same half-spectrum shape.
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// rfftPlan caches the length-dependent setup for a real transform of length
+// n: the untangle twiddles w^k (k = 0..n/2) and a scratch pool for the
+// packed n/2-point work buffer.
+type rfftPlan struct {
+	n       int
+	w       []complex128 // w[k] = exp(-2πi·k/n), read-only
+	scratch sync.Pool    // *[]complex128 of length n/2
+}
+
+var (
+	rfftMu    sync.Mutex
+	rfftPlans = map[int]*rfftPlan{}
+)
+
+func rfftPlanFor(n int) *rfftPlan {
+	rfftMu.Lock()
+	p, ok := rfftPlans[n]
+	rfftMu.Unlock()
+	if ok {
+		return p
+	}
+	m := n / 2
+	w := make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		w[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	p = &rfftPlan{n: n, w: w}
+	p.scratch.New = func() any {
+		buf := make([]complex128, m)
+		return &buf
+	}
+	rfftMu.Lock()
+	if prior, ok := rfftPlans[n]; ok {
+		p = prior // concurrent builders produce identical plans; keep one
+	} else {
+		rfftPlans[n] = p
+	}
+	rfftMu.Unlock()
+	return p
+}
+
+// RFFT transforms a real signal and returns the non-redundant half spectrum,
+// bins 0..N/2 inclusive (the remaining bins of the full transform are the
+// conjugate mirror). Even lengths cost one N/2-point complex transform; odd
+// lengths fall back to the full transform.
+func RFFT(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	if n%2 != 0 {
+		spec := FFTReal(x)
+		return spec[:half:half]
+	}
+	m := n / 2
+	p := rfftPlanFor(n)
+	zptr := p.scratch.Get().(*[]complex128)
+	z := *zptr
+	for j := 0; j < m; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	Z := z
+	if m&(m-1) == 0 {
+		fftRadix2(Z, false)
+	} else {
+		Z = bluestein(Z, false)
+	}
+	out := make([]complex128, half)
+	for k := 0; k <= m; k++ {
+		zk := Z[k%m]
+		zmk := cmplx.Conj(Z[(m-k)%m])
+		e := (zk + zmk) * 0.5
+		o := (zk - zmk) * complex(0, -0.5)
+		out[k] = e + p.w[k]*o
+	}
+	p.scratch.Put(zptr)
+	return out
+}
+
+// IRFFT inverts RFFT: given the half spectrum of a real signal of length n
+// (len(spec) must be n/2+1) it returns the time-domain signal, normalized
+// by 1/n to match IFFT.
+func IRFFT(spec []complex128, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	if len(spec) != half {
+		panic(fmt.Sprintf("dsp: IRFFT of %d bins for length %d (want %d)", len(spec), n, half))
+	}
+	if n%2 != 0 {
+		full := make([]complex128, n)
+		copy(full, spec)
+		for k := half; k < n; k++ {
+			full[k] = cmplx.Conj(spec[n-k])
+		}
+		t := IFFT(full)
+		out := make([]float64, n)
+		for i, c := range t {
+			out[i] = real(c)
+		}
+		return out
+	}
+	m := n / 2
+	p := rfftPlanFor(n)
+	zptr := p.scratch.Get().(*[]complex128)
+	z := *zptr
+	for k := 0; k < m; k++ {
+		xk := spec[k]
+		xmk := cmplx.Conj(spec[m-k])
+		e := (xk + xmk) * 0.5
+		o := (xk - xmk) * 0.5 * cmplx.Conj(p.w[k])
+		z[k] = e + complex(0, 1)*o
+	}
+	Z := z
+	if m&(m-1) == 0 {
+		fftRadix2(Z, true)
+	} else {
+		Z = bluestein(Z, true)
+	}
+	out := make([]float64, n)
+	inv := 1 / float64(m)
+	for j := 0; j < m; j++ {
+		out[2*j] = real(Z[j]) * inv
+		out[2*j+1] = imag(Z[j]) * inv
+	}
+	p.scratch.Put(zptr)
+	return out
+}
+
+// CAbs returns |c| without the overflow/underflow guards of cmplx.Abs —
+// appropriate for spectra whose magnitudes are nowhere near the float64
+// range limits, and measurably cheaper in per-bin loops.
+func CAbs(c complex128) float64 {
+	re, im := real(c), imag(c)
+	return math.Sqrt(re*re + im*im)
+}

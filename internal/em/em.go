@@ -158,12 +158,21 @@ func CombinedSpectrum(ant Antenna, emitters []Emitter) (freqs, watts []float64, 
 				return nil, nil, fmt.Errorf("em: emitter %d bin %d frequency %v differs from %v", ei, i, e.Freqs[i], base[i])
 			}
 		}
-		spec, err := e.Path.ReceivedSpectrum(ant, e.Freqs, e.IAmp)
-		if err != nil {
+		// Fold the emitter's received power into the total directly rather
+		// than materializing a per-emitter spectrum; the validation and the
+		// per-bin arithmetic match ReceivedSpectrum exactly.
+		if err := e.Path.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei, err)
 		}
-		for i, w := range spec {
-			total[i] += w
+		if err := ant.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei, err)
+		}
+		if len(e.Freqs) != len(e.IAmp) {
+			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei,
+				fmt.Errorf("em: spectrum length mismatch %d vs %d", len(e.Freqs), len(e.IAmp)))
+		}
+		for i := range e.Freqs {
+			total[i] += e.Path.ReceivedPower(ant, e.Freqs[i], e.IAmp[i])
 		}
 	}
 	return base, total, nil

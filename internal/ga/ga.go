@@ -233,7 +233,14 @@ func nextGeneration(cfg Config, rng *rand.Rand, pop []Individual) []Individual {
 	for _, e := range elites(pop, cfg.Elites) {
 		next = append(next, e.clone())
 	}
-	ranked := rankIndices(pop)
+	// Only the rank-based selection schemes need the sorted index; the
+	// default tournament path draws directly from the population, so the
+	// per-generation sort is skipped for it (rankIndices never touches the
+	// rng, so laziness cannot shift any random draw).
+	var ranked []int
+	if cfg.Selection == Truncation || cfg.Selection == Roulette {
+		ranked = rankIndices(pop)
+	}
 	for len(next) < cfg.PopulationSize {
 		a := selectParent(cfg, rng, pop, ranked)
 		b := selectParent(cfg, rng, pop, ranked)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/detrand"
 	"repro/internal/dsp"
 	"repro/internal/pdn"
 )
@@ -276,5 +277,69 @@ func TestSCLSweepErrors(t *testing.T) {
 	bad := &SCL{AmpA: -1, Harmonics: 3, SamplesPerPeriod: 64}
 	if _, err := bad.Excite(m, 1e6); err == nil {
 		t.Error("invalid SCL excite accepted")
+	}
+}
+
+// TestMeasurePeakMatchesFullCapture: the banded fast path inside
+// MeasurePeak must reproduce, bit for bit, what a full capture followed by
+// PeakInBand yields for every sample — the skipped out-of-band work must
+// not perturb the noise stream.
+func TestMeasurePeakMatchesFullCapture(t *testing.T) {
+	sa, err := NewSpectrumAnalyzer("ref", 1e6, 500e6, 1e6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 300
+	freqs := make([]float64, n)
+	watts := make([]float64, n)
+	for i := range freqs {
+		freqs[i] = 1e6 + float64(i)*1.7e6
+		watts[i] = 1e-9 * math.Abs(math.Sin(float64(i)))
+	}
+	watts[40] = 2e-6 // a clear in-band tone
+	lo, hi := 50e6, 120e6
+	const samples = 7
+
+	m, err := sa.MeasurePeak(freqs, watts, lo, hi, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: full sweeps via the unbanded capture path.
+	h := detrand.HashFloats(freqs, watts)
+	peaks := make([]float64, 0, samples)
+	votes := map[float64]int{}
+	for s := 0; s < samples; s++ {
+		sweep := sa.capture(freqs, watts, detrand.Stream(sa.seed, h, uint64(s)))
+		f, dbm, ok := sweep.PeakInBand(lo, hi)
+		if !ok {
+			t.Fatal("reference sweep found no in-band bin")
+		}
+		peaks = append(peaks, dbm)
+		votes[f]++
+	}
+	var sum float64
+	for _, dbm := range peaks {
+		w := dsp.FromDBm(dbm)
+		sum += w * w
+	}
+	wantPeak := dsp.DBm(math.Sqrt(sum / samples))
+	if m.PeakDBm != wantPeak {
+		t.Fatalf("banded PeakDBm %v != reference %v", m.PeakDBm, wantPeak)
+	}
+	var wantFreq float64
+	best := -1
+	for f, nv := range votes {
+		if nv > best || (nv == best && f < wantFreq) {
+			wantFreq, best = f, nv
+		}
+	}
+	if m.PeakHz != wantFreq {
+		t.Fatalf("banded PeakHz %v != reference %v", m.PeakHz, wantFreq)
+	}
+
+	// Out-of-band request still errors like the reference path.
+	if _, err := sa.MeasurePeak(freqs, watts, 600e6, 700e6, 2); err == nil {
+		t.Fatal("expected out-of-span error")
 	}
 }

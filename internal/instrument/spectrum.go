@@ -105,13 +105,14 @@ func (sa *SpectrumAnalyzer) Capture(freqs, watts []float64) (*Sweep, error) {
 	return sa.capture(freqs, watts, detrand.Stream(sa.seed, detrand.HashFloats(freqs, watts), 0)), nil
 }
 
-// capture is the noise-source-explicit sweep used by Capture and MeasurePeak.
-func (sa *SpectrumAnalyzer) capture(freqs, watts []float64, rng *rand.Rand) *Sweep {
+// rebin sums the incident spectrum into the analyzer's RBW bins. The
+// result depends only on the spectrum, not on any noise draw, so repeated
+// sweeps over the same signal share one re-binning pass.
+func (sa *SpectrumAnalyzer) rebin(freqs, watts []float64) []float64 {
 	nBins := int(math.Ceil((sa.StopHz - sa.StartHz) / sa.RBWHz))
 	if nBins < 1 {
 		nBins = 1
 	}
-	sweep := &Sweep{Freqs: make([]float64, nBins), DBm: make([]float64, nBins)}
 	acc := make([]float64, nBins)
 	for i, f := range freqs {
 		if f < sa.StartHz || f >= sa.StopHz {
@@ -122,6 +123,14 @@ func (sa *SpectrumAnalyzer) capture(freqs, watts []float64, rng *rand.Rand) *Swe
 			acc[bin] += watts[i]
 		}
 	}
+	return acc
+}
+
+// capture is the noise-source-explicit sweep used by Capture and MeasurePeak.
+func (sa *SpectrumAnalyzer) capture(freqs, watts []float64, rng *rand.Rand) *Sweep {
+	acc := sa.rebin(freqs, watts)
+	nBins := len(acc)
+	sweep := &Sweep{Freqs: make([]float64, nBins), DBm: make([]float64, nBins)}
 	floor := dsp.FromDBm(sa.NoiseFloorDBm)
 	for b := 0; b < nBins; b++ {
 		sweep.Freqs[b] = sa.StartHz + (float64(b)+0.5)*sa.RBWHz
@@ -152,16 +161,38 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 		return nil, fmt.Errorf("instrument: spectrum length mismatch %d vs %d", len(freqs), len(watts))
 	}
 	h := detrand.HashFloats(freqs, watts)
+	acc := sa.rebin(freqs, watts) // noise-independent; shared by all samples
+	floor := dsp.FromDBm(sa.NoiseFloorDBm)
 	peaks := make([]float64, 0, samples)
 	freqVotes := make(map[float64]int)
 	for s := 0; s < samples; s++ {
-		sweep := sa.capture(freqs, watts, detrand.Stream(sa.seed, h, uint64(s)))
-		f, dbm, ok := sweep.PeakInBand(lo, hi)
+		// Banded sweep, bit-identical to a full capture + PeakInBand: the
+		// noise stream is consumed strictly in bin order, so bins past the
+		// band's upper edge — whose draws come after every in-band draw —
+		// can be skipped outright, and bins below the lower edge consume
+		// their two draws but skip the dBm conversion.
+		rng := detrand.Stream(sa.seed, h, uint64(s))
+		peakF, peakDBm, ok := 0.0, math.Inf(-1), false
+		for b := 0; b < len(acc); b++ {
+			f := sa.StartHz + (float64(b)+0.5)*sa.RBWHz
+			if f > hi {
+				break
+			}
+			u := rng.Float64()
+			g := rng.NormFloat64()
+			if f < lo {
+				continue
+			}
+			dbm := dsp.DBm(acc[b]+floor*(0.5+u)) + g*sa.NoiseSigmaDB
+			if dbm > peakDBm {
+				peakF, peakDBm, ok = f, dbm, true
+			}
+		}
 		if !ok {
 			return nil, fmt.Errorf("instrument: band [%v, %v] outside analyzer span", lo, hi)
 		}
-		peaks = append(peaks, dbm)
-		freqVotes[f]++
+		peaks = append(peaks, peakDBm)
+		freqVotes[peakF]++
 	}
 	// RMS in linear power terms, reported in dBm.
 	var sum float64

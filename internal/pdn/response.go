@@ -79,6 +79,14 @@ type TransferSet struct {
 	HV []complex128 // len N/2+1
 	HI []complex128 // len N/2+1
 
+	// freqs, absHV and absHI are per-bin values that depend only on (N, Dt)
+	// and the model: the bin frequencies and transfer magnitudes. They are
+	// computed once here rather than on every Spectra call, and shared
+	// read-only with every caller.
+	freqs []float64
+	absHV []float64
+	absHI []float64
+
 	vnominal float64
 	rSeries  float64 // total DC series resistance, for the DC droop term
 }
@@ -94,6 +102,9 @@ func (m *Model) Transfers(n int, dt float64) (*TransferSet, error) {
 		N: n, Dt: dt,
 		HV:       make([]complex128, half),
 		HI:       make([]complex128, half),
+		freqs:    make([]float64, half),
+		absHV:    make([]float64, half),
+		absHI:    make([]float64, half),
 		vnominal: m.Params.VNominal,
 	}
 	fs := 1 / dt
@@ -113,6 +124,9 @@ func (m *Model) Transfers(n int, dt float64) (*TransferSet, error) {
 		}
 		ts.HV[k] = hv
 		ts.HI[k] = hi
+		ts.freqs[k] = f
+		ts.absHV[k] = cmplx.Abs(hv)
+		ts.absHI[k] = cmplx.Abs(hi)
 	}
 	// At DC, HV is -R_series; remember it for reporting.
 	ts.rSeries = -real(ts.HV[0])
@@ -134,24 +148,22 @@ func (ts *TransferSet) SteadyStateAt(load []float64, vnominal float64) (*Respons
 	if len(load) != ts.N {
 		return nil, fmt.Errorf("pdn: steady-state load length %d, want %d", len(load), ts.N)
 	}
-	spec := dsp.FFTReal(load)
+	spec := dsp.RFFT(load)
 	n := ts.N
-	vspec := make([]complex128, n)
-	ispec := make([]complex128, n)
-	for k := 0; k <= n/2; k++ {
+	half := n/2 + 1
+	vspec := make([]complex128, half)
+	ispec := make([]complex128, half)
+	for k := 0; k < half; k++ {
 		vspec[k] = spec[k] * ts.HV[k]
 		ispec[k] = spec[k] * ts.HI[k]
-		if k != 0 && k != n-k {
-			vspec[n-k] = cmplx.Conj(vspec[k])
-			ispec[n-k] = cmplx.Conj(ispec[k])
-		}
 	}
-	vt := dsp.IFFT(vspec)
-	it := dsp.IFFT(ispec)
-	out := &Response{Dt: ts.Dt, VDie: make([]float64, n), IDie: make([]float64, n)}
+	// The load is real and the transfers are evaluated on the half grid, so
+	// the responses are real too: invert on the half spectrum directly.
+	vt := dsp.IRFFT(vspec, n)
+	it := dsp.IRFFT(ispec, n)
+	out := &Response{Dt: ts.Dt, VDie: make([]float64, n), IDie: it}
 	for i := 0; i < n; i++ {
-		out.VDie[i] = vnominal + real(vt[i])
-		out.IDie[i] = real(it[i])
+		out.VDie[i] = vnominal + vt[i]
 	}
 	// IDie from the transfer is the *perturbation*; its DC component equals
 	// the load's mean already via HI[0] (at DC all load current flows
@@ -161,29 +173,29 @@ func (ts *TransferSet) SteadyStateAt(load []float64, vnominal float64) (*Respons
 
 // Spectra returns the single-sided amplitude spectra of the die voltage and
 // inductor current under the given load waveform (len N): freqs[k] in Hz,
-// amplitudes in volts and amps.
+// amplitudes in volts and amps. The returned freqs slice is shared across
+// calls (it depends only on the transfer set) and must not be modified.
 func (ts *TransferSet) Spectra(load []float64) (freqs, vAmp, iAmp []float64, err error) {
 	if len(load) != ts.N {
 		return nil, nil, nil, fmt.Errorf("pdn: spectra load length %d, want %d", len(load), ts.N)
 	}
-	spec := dsp.FFTReal(load)
+	spec := dsp.RFFT(load)
 	n := ts.N
 	half := n/2 + 1
-	fs := 1 / ts.Dt
-	freqs = make([]float64, half)
 	vAmp = make([]float64, half)
 	iAmp = make([]float64, half)
+	scale0 := 1 / float64(n)
+	s2 := scale0 * 2
 	for k := 0; k < half; k++ {
-		freqs[k] = dsp.BinFreq(k, n, fs)
-		scale := 1 / float64(n)
-		if k != 0 && !(n%2 == 0 && k == n/2) {
-			scale *= 2
+		scale := s2
+		if k == 0 || (n%2 == 0 && k == n/2) {
+			scale = scale0
 		}
-		mag := cmplx.Abs(spec[k]) * scale
-		vAmp[k] = mag * cmplx.Abs(ts.HV[k])
-		iAmp[k] = mag * cmplx.Abs(ts.HI[k])
+		mag := dsp.CAbs(spec[k]) * scale
+		vAmp[k] = mag * ts.absHV[k]
+		iAmp[k] = mag * ts.absHI[k]
 	}
-	return freqs, vAmp, iAmp, nil
+	return ts.freqs, vAmp, iAmp, nil
 }
 
 // RSeries returns the total DC series resistance of the network as seen by

@@ -11,6 +11,7 @@
 package platform
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -79,11 +80,15 @@ type Domain struct {
 	// populations that re-simulate the same elites every generation hit the
 	// cache instead of re-running the uarch→power→FFT pipeline. Entries are
 	// shared read-only slices; purity means eviction can never change a
-	// result.
-	spectraMu     sync.Mutex
-	spectra       map[spectraKey]*spectraEntry
-	spectraHits   atomic.Uint64
-	spectraMisses atomic.Uint64
+	// result. Past spectraCacheCap entries the least recently used entry is
+	// evicted (spectraOrder keeps the most recently used at the front), so a
+	// converged population's elites survive a sweep's one-shot traffic.
+	spectraMu        sync.Mutex
+	spectra          map[spectraKey]*list.Element
+	spectraOrder     *list.List // of *spectraNode
+	spectraHits      atomic.Uint64
+	spectraMisses    atomic.Uint64
+	spectraEvictions atomic.Uint64
 }
 
 // transferKey omits the supply setting: the network is linear, so its
@@ -112,7 +117,13 @@ type spectraEntry struct {
 	res               *uarch.Result
 }
 
-// spectraCacheCap bounds the memo; past it the whole map is dropped (purity
+// spectraNode is the LRU-list payload tying a cache key to its entry.
+type spectraNode struct {
+	key spectraKey
+	ent *spectraEntry
+}
+
+// spectraCacheCap bounds the memo to the most recently used entries (purity
 // makes the eviction policy invisible to results).
 const spectraCacheCap = 512
 
@@ -142,7 +153,8 @@ func NewDomain(spec Spec) (*Domain, error) {
 		clockHz:      spec.MaxClockHz,
 		supplyVolts:  spec.PDN.VNominal,
 		transfers:    make(map[transferKey]*pdn.TransferSet),
-		spectra:      make(map[spectraKey]*spectraEntry),
+		spectra:      make(map[spectraKey]*list.Element),
+		spectraOrder: list.New(),
 	}, nil
 }
 
@@ -294,8 +306,8 @@ func (d *Domain) transferSetAt(cores int, supply float64, n int, dt float64) (*p
 	return ts, nil
 }
 
-// SpectraCacheStats reports the spectra memo's hit/miss counters (logged by
-// cmd/gahunt -v to make cache effectiveness observable).
-func (d *Domain) SpectraCacheStats() (hits, misses uint64) {
-	return d.spectraHits.Load(), d.spectraMisses.Load()
+// SpectraCacheStats reports the spectra memo's hit/miss/eviction counters
+// (logged by cmd/gahunt -v to make cache effectiveness observable).
+func (d *Domain) SpectraCacheStats() (hits, misses, evictions uint64) {
+	return d.spectraHits.Load(), d.spectraMisses.Load(), d.spectraEvictions.Load()
 }

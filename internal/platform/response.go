@@ -148,12 +148,14 @@ func (d *Domain) SpectraAt(l Load, dt float64, n int, clockHz float64) (freqs, v
 func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
 	key := spectraKey{load: l.Hash(), powered: powered, clock: clock, supply: supply, dt: dt, n: n}
 	d.spectraMu.Lock()
-	ent, ok := d.spectra[key]
-	d.spectraMu.Unlock()
-	if ok {
+	if el, ok := d.spectra[key]; ok {
+		d.spectraOrder.MoveToFront(el)
+		ent := el.Value.(*spectraNode).ent
+		d.spectraMu.Unlock()
 		d.spectraHits.Add(1)
 		return ent.freqs, ent.vAmp, ent.iAmp, ent.res, nil
 	}
+	d.spectraMu.Unlock()
 	d.spectraMisses.Add(1)
 
 	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered)
@@ -168,13 +170,41 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	ent := &spectraEntry{freqs: freqs, vAmp: vAmp, iAmp: iAmp, res: res}
 	d.spectraMu.Lock()
-	if len(d.spectra) >= spectraCacheCap {
-		d.spectra = make(map[spectraKey]*spectraEntry)
+	if el, ok := d.spectra[key]; ok {
+		// A concurrent miss computed the same pure result; keep the first.
+		d.spectraOrder.MoveToFront(el)
+	} else {
+		d.spectra[key] = d.spectraOrder.PushFront(&spectraNode{key: key, ent: ent})
+		for len(d.spectra) > spectraCacheCap {
+			back := d.spectraOrder.Back()
+			d.spectraOrder.Remove(back)
+			delete(d.spectra, back.Value.(*spectraNode).key)
+			d.spectraEvictions.Add(1)
+		}
 	}
-	d.spectra[key] = &spectraEntry{freqs: freqs, vAmp: vAmp, iAmp: iAmp, res: res}
 	d.spectraMu.Unlock()
 	return freqs, vAmp, iAmp, res, nil
+}
+
+// LoopHzAt returns the workload's loop fundamental frequency at an explicit
+// (snapped) clock, sharing SpectraAt's exact simulation sizing so the
+// underlying uarch result is the one a full spectra evaluation would carry.
+// With the uarch trace cache warm this costs a cache lookup, letting sweeps
+// band-filter clock steps before paying for resample + FFT + instruments.
+func (d *Domain) LoopHzAt(l Load, dt float64, n int, clockHz float64) (float64, *uarch.Result, error) {
+	if err := d.validateLoad(l); err != nil {
+		return 0, nil, err
+	}
+	cl := power.ClusterLoad{
+		Core:        d.Spec.Core,
+		Seq:         l.Seq,
+		ClockHz:     clockHz,
+		ActiveCores: l.ActiveCores,
+		PhaseCycles: l.PhaseCycles,
+	}
+	return cl.LoopHz(dt, n)
 }
 
 // TransientResponse integrates the PDN under the workload's current

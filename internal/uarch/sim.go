@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 )
@@ -28,16 +29,33 @@ type sim struct {
 	// unitBusyUntil[unit][instance] is the first free cycle of that unit.
 	unitBusyUntil [isa.NumUnits][]int
 
-	charge  []float64
-	cycle   int
-	fetched int
-	issued  int
+	// chargeDiff is a difference array: addCharge records a charge span as
+	// two endpoint updates and run folds it into the per-cycle trace with a
+	// single prefix-sum pass, instead of touching Block cycles per issue.
+	chargeDiff []float64
+	// cumIssued[c] is the total instruction count issued through cycle c
+	// (recorded after that cycle's issue stage); it lets a cached history
+	// reproduce the IPC of any shorter run exactly.
+	cumIssued []int64
+	cycle     int
+	fetched   int
+	issued    int
 
 	iterStarts []int // fetch cycle of each iteration's first instruction
 }
 
-func newSim(cfg *Config, seq []isa.Inst) *sim {
-	s := &sim{cfg: cfg, seq: seq, completeAt: make([]int, 0, 4096)}
+// newSim prepares a simulation. steadyHint sizes the per-cycle buffers for
+// an expected run of roughly warmup+steady cycles; it only affects
+// allocation, never results.
+func newSim(cfg *Config, seq []isa.Inst, steadyHint int) *sim {
+	s := &sim{
+		cfg:        cfg,
+		seq:        seq,
+		completeAt: make([]int, 0, 4096),
+		chargeDiff: make([]float64, 0, steadyHint),
+		cumIssued:  make([]int64, 0, steadyHint),
+		iterStarts: make([]int, 0, 256),
+	}
 	for f := range s.lastWriter {
 		s.lastWriter[f] = make([]int, 64)
 		for i := range s.lastWriter[f] {
@@ -50,14 +68,25 @@ func newSim(cfg *Config, seq []isa.Inst) *sim {
 	return s
 }
 
+// simHint estimates the total cycle count of a run with the given steady
+// window, leaving room for the warmup iterations.
+func simHint(minSteadyCycles int) int {
+	return minSteadyCycles + minSteadyCycles/4 + 2048
+}
+
 // addCharge accumulates q coulombs per cycle over [from, from+cycles).
 func (s *sim) addCharge(from, cycles int, q float64) {
-	for len(s.charge) < from+cycles {
-		s.charge = append(s.charge, 0)
+	if need := from + cycles + 1; need > len(s.chargeDiff) {
+		if need <= cap(s.chargeDiff) {
+			s.chargeDiff = s.chargeDiff[:need]
+		} else {
+			grown := make([]float64, need, need+need/2)
+			copy(grown, s.chargeDiff)
+			s.chargeDiff = grown
+		}
 	}
-	for c := from; c < from+cycles; c++ {
-		s.charge[c] += q
-	}
+	s.chargeDiff[from] += q
+	s.chargeDiff[from+cycles] -= q
 }
 
 // fetch renames and inserts up to IssueWidth instructions into the window.
@@ -168,55 +197,105 @@ func (s *sim) retire() {
 	}
 }
 
-func (s *sim) run(minSteadyCycles int) (*Result, error) {
+// run simulates until minSteadyCycles of steady state have elapsed and
+// returns the full recorded history. The Result of the run — or of any run
+// with a shorter steady window — is synthesized from the history by
+// traceHist.synth.
+func (s *sim) run(minSteadyCycles int) (*traceHist, error) {
 	warmupCycle := -1
-	issuedAtWarmup := 0
 	limit := minSteadyCycles*64 + 100000
 	for {
 		if s.cycle > limit {
-			return nil, fmt.Errorf("uarch: simulation did not reach steady state within %d cycles", limit)
+			return nil, steadyStateErr(minSteadyCycles)
 		}
 		s.retire()
 		issued := s.issue()
 		s.fetch()
 		if warmupCycle < 0 && len(s.iterStarts) > warmupIters {
 			warmupCycle = s.iterStarts[warmupIters]
-			issuedAtWarmup = s.issued
 		}
 		s.addCharge(s.cycle, 1, s.cfg.BaseCharge+float64(s.cfg.IssueWidth-issued)*s.cfg.IdleSlotCharge)
+		s.cumIssued = append(s.cumIssued, int64(s.issued))
 		s.cycle++
 		if warmupCycle >= 0 && s.cycle-warmupCycle >= minSteadyCycles {
 			break
 		}
 	}
-	// Truncate in-flight charge beyond the final simulated cycle so the
-	// trace length equals the cycle count.
-	if len(s.charge) > s.cycle {
-		s.charge = s.charge[:s.cycle]
+	// Fold the difference array into the per-cycle trace, dropping the
+	// in-flight charge beyond the final simulated cycle so the trace length
+	// equals the cycle count.
+	charge := make([]float64, s.cycle)
+	var acc float64
+	for i := range charge {
+		acc += s.chargeDiff[i]
+		charge[i] = acc
 	}
-	iters := len(s.iterStarts)
+	return &traceHist{
+		cfg:        s.cfg,
+		charge:     charge,
+		cumIssued:  s.cumIssued,
+		iterStarts: s.iterStarts,
+		warmup:     warmupCycle,
+		steady:     s.cycle - warmupCycle,
+	}, nil
+}
+
+func steadyStateErr(minSteadyCycles int) error {
+	return fmt.Errorf("uarch: simulation did not reach steady state within %d cycles", minSteadyCycles*64+100000)
+}
+
+// traceHist is the recorded history of one simulation: everything needed to
+// synthesize the Result of a run with the same or a shorter steady window.
+// All slices are immutable once built and shared read-only.
+type traceHist struct {
+	cfg        *Config
+	charge     []float64 // per-cycle switching charge for the whole run
+	cumIssued  []int64   // cumIssued[c]: instructions issued through cycle c
+	iterStarts []int     // fetch cycle of each iteration's first instruction
+	warmup     int       // first steady-state cycle
+	steady     int       // steady cycles simulated; len(charge) == warmup+steady
+}
+
+// covers reports whether the history is long enough to synthesize a run
+// with the given steady window.
+func (h *traceHist) covers(minSteadyCycles int) bool {
+	return h.warmup+minSteadyCycles <= len(h.charge)
+}
+
+// synth reconstructs the exact Result a fresh Run with the given steady
+// window would produce. The simulator is deterministic and charge spans
+// only extend forward in time, so a shorter run is a strict prefix of a
+// longer one: its trace is a slice of the recorded trace, its iteration
+// count is the number of recorded iteration starts before its end cycle,
+// and its loop/IPC statistics recompute from the recorded prefix — all
+// bit-identical to re-simulating.
+func (h *traceHist) synth(minSteadyCycles int) (*Result, error) {
+	end := h.warmup + minSteadyCycles
+	if limit := minSteadyCycles*64 + 100000; end-1 > limit {
+		// A fresh run would hit its cycle limit before reaching this much
+		// steady state; reproduce its failure.
+		return nil, steadyStateErr(minSteadyCycles)
+	}
+	iters := sort.SearchInts(h.iterStarts, end)
 	res := &Result{
-		Config:     s.cfg,
-		Charge:     s.charge,
-		Warmup:     warmupCycle,
+		Config:     h.cfg,
+		Charge:     h.charge[:end:end],
+		Warmup:     h.warmup,
 		Iterations: iters,
 	}
 	// Steady-state cycles per iteration from fetch timestamps. The last
 	// few iterations are excluded: fetch runs ahead of issue by the window
 	// occupancy, and occupancy drift at the very end of the run would bias
 	// the average.
-	last := len(s.iterStarts) - 1
+	last := iters - 1
 	if last-4 > warmupIters {
 		last -= 4
 	}
 	if last > warmupIters {
-		res.LoopCycles = float64(s.iterStarts[last]-s.iterStarts[warmupIters]) / float64(last-warmupIters)
+		res.LoopCycles = float64(h.iterStarts[last]-h.iterStarts[warmupIters]) / float64(last-warmupIters)
 	} else {
-		res.LoopCycles = float64(s.cycle) / float64(iters)
+		res.LoopCycles = float64(end) / float64(iters)
 	}
-	steadyCycles := s.cycle - warmupCycle
-	if steadyCycles > 0 {
-		res.IPC = float64(s.issued-issuedAtWarmup) / float64(steadyCycles)
-	}
+	res.IPC = float64(h.cumIssued[end-1]-h.cumIssued[h.warmup]) / float64(minSteadyCycles)
 	return res, nil
 }

@@ -172,6 +172,12 @@ func Run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Result, error) {
 	if minSteadyCycles < 1 {
 		return nil, fmt.Errorf("uarch: minSteadyCycles = %d", minSteadyCycles)
 	}
-	sim := newSim(&cfg, seq)
-	return sim.run(minSteadyCycles)
+	if traceCacheOn.Load() {
+		return globalTraceCache.run(cfg, seq, minSteadyCycles)
+	}
+	hist, err := newSim(&cfg, seq, simHint(minSteadyCycles)).run(minSteadyCycles)
+	if err != nil {
+		return nil, err
+	}
+	return hist.synth(minSteadyCycles)
 }
