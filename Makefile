@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: all build test tier1 race vet bench bench-all chaos fmt
+.PHONY: all build test tier1 race vet bench bench-all bench-compare chaos fmt
 
 all: build test
 
@@ -11,7 +12,10 @@ build:
 test: build
 	$(GO) test ./...
 
-tier1: test
+# The gate runs vet and forces fresh test execution (no cached results), so
+# a flaky or order-dependent test cannot hide behind the build cache.
+tier1: build vet
+	GOFLAGS=-count=1 $(GO) test ./...
 
 # Chaos: the remote-lab fault-injection suite (deterministic drop/delay/
 # garble proxy, reconnect-and-replay, pooled GA vs direct equivalence)
@@ -31,11 +35,20 @@ race: tier1 chaos
 vet:
 	$(GO) vet ./...
 
-# Hot-path benchmarks (cold vs trace-cached sweep, shmoo, spectra and
-# fitness evaluation), recorded as BENCH_pr3.json for regression diffing.
+# Hot-path benchmarks (cold vs cache-served sweep, shmoo, spectra, fitness
+# and lineage evaluation), recorded as $(BENCH_OUT) for regression diffing:
+#   make bench BENCH_OUT=BENCH_pr5.json
 bench:
-	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo' \
-		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage' \
+		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Diff two benchmark reports; exits nonzero if any benchmark present in
+# both regressed more than 20% in ns/op:
+#   make bench-compare OLD=BENCH_pr3.json NEW=BENCH_pr4.json
+OLD ?= BENCH_pr3.json
+NEW ?= $(BENCH_OUT)
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # The full benchmark suite, one iteration each (smoke).
 bench-all:

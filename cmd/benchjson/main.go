@@ -2,12 +2,26 @@
 // record of the measurement hot path's cost: ns/op, B/op and allocs/op per
 // benchmark, plus cold/cached speedup ratios for every benchmark that has
 // both variants. `make bench` pipes the PR's hot-path benchmarks through it
-// to produce BENCH_pr3.json, so performance regressions show up as a diff
+// to produce BENCH_<pr>.json, so performance regressions show up as a diff
 // rather than a feeling.
+//
+// Repeated runs of the same benchmark (e.g. -count=3) are averaged,
+// weighted by iteration count; benchmarks with only a cold or only a
+// cached variant simply get no ratio instead of mis-pairing.
+//
+// With -compare, benchjson diffs two reports instead of parsing stdin:
+//
+//	benchjson -compare OLD.json NEW.json
+//
+// prints the ns/op and allocs/op deltas for every benchmark present in
+// both files and exits nonzero if any of them regressed by more than 20%
+// in ns/op. New and dropped benchmarks are reported but never fail the
+// comparison.
 //
 // Usage:
 //
 //	go test -bench 'Sweep|Shmoo|Evaluation' -benchmem -run '^$' . | benchjson [-o out.json]
+//	benchjson -compare BENCH_pr3.json BENCH_pr4.json
 package main
 
 import (
@@ -84,22 +98,79 @@ func parseLine(line string) (Entry, bool) {
 	return e, true
 }
 
+// merge folds repeated runs of the same benchmark into one entry, averaging
+// the per-op metrics weighted by iteration count, and preserves first-seen
+// order.
+func merge(entries []Entry) []Entry {
+	type acc struct {
+		idx               int
+		iters             int64
+		ns, bytes, allocs float64
+	}
+	byName := make(map[string]*acc, len(entries))
+	var order []string
+	for _, e := range entries {
+		a, ok := byName[e.Name]
+		if !ok {
+			a = &acc{idx: len(order)}
+			byName[e.Name] = a
+			order = append(order, e.Name)
+		}
+		w := float64(e.Iterations)
+		if w <= 0 {
+			w = 1
+		}
+		a.iters += e.Iterations
+		a.ns += e.NsPerOp * w
+		a.bytes += float64(e.BytesPerOp) * w
+		a.allocs += float64(e.AllocsPerOp) * w
+	}
+	out := make([]Entry, len(order))
+	for name, a := range byName {
+		w := float64(a.iters)
+		if w <= 0 {
+			w = 1
+		}
+		out[a.idx] = Entry{
+			Name:        name,
+			Iterations:  a.iters,
+			NsPerOp:     a.ns / w,
+			BytesPerOp:  int64(a.bytes / w),
+			AllocsPerOp: int64(a.allocs / w),
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
-	out := "BENCH_pr3.json"
+	out := "BENCH_pr4.json"
+	var compare []string
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-o", "--out":
 			if i+1 >= len(args) {
-				fmt.Fprintln(os.Stderr, "benchjson: -o needs a path")
-				os.Exit(2)
+				fatalf("-o needs a path")
 			}
 			i++
 			out = args[i]
+		case "-compare", "--compare":
+			if i+2 >= len(args) {
+				fatalf("-compare needs two report paths")
+			}
+			compare = []string{args[i+1], args[i+2]}
+			i += 2
 		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[i])
-			os.Exit(2)
+			fatalf("unknown argument %q", args[i])
 		}
+	}
+	if compare != nil {
+		os.Exit(runCompare(compare[0], compare[1]))
 	}
 
 	rep := Report{}
@@ -123,15 +194,15 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
-		os.Exit(1)
+		fatalf("read: %v", err)
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fatalf("no benchmark lines on stdin")
 	}
+	rep.Benchmarks = merge(rep.Benchmarks)
 
-	// Pair .../cold with .../cached variants into speedup ratios.
+	// Pair .../cold with .../cached variants into speedup ratios; a family
+	// with only one variant simply gets no ratio.
 	byName := make(map[string]Entry, len(rep.Benchmarks))
 	for _, e := range rep.Benchmarks {
 		byName[e.Name] = e
@@ -155,16 +226,79 @@ func main() {
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	for _, r := range rep.Ratios {
 		fmt.Printf("%-40s %5.2fx faster cached\n", r.Name, r.Speedup)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Benchmarks))
+}
+
+// regressionLimit is the relative ns/op increase -compare tolerates before
+// failing (20%: generous enough for benchmark jitter on shared machines,
+// tight enough to catch a real hot-path regression).
+const regressionLimit = 0.20
+
+func loadReport(path string) Report {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return rep
+}
+
+// runCompare diffs two reports and returns the process exit code: 1 if any
+// benchmark present in both regressed past regressionLimit in ns/op.
+func runCompare(oldPath, newPath string) int {
+	oldRep, newRep := loadReport(oldPath), loadReport(newPath)
+	oldBy := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range merge(oldRep.Benchmarks) {
+		oldBy[e.Name] = e
+	}
+	failed := false
+	seen := make(map[string]bool)
+	fmt.Printf("%-44s %14s %14s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs")
+	for _, e := range merge(newRep.Benchmarks) {
+		seen[e.Name] = true
+		o, ok := oldBy[e.Name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.0f %8s %9s  (new)\n", e.Name, "-", e.NsPerOp, "-", "-")
+			continue
+		}
+		dNs := 0.0
+		if o.NsPerOp > 0 {
+			dNs = e.NsPerOp/o.NsPerOp - 1
+		}
+		dAllocs := "-"
+		if o.AllocsPerOp > 0 {
+			dAllocs = fmt.Sprintf("%+.1f%%", 100*(float64(e.AllocsPerOp)/float64(o.AllocsPerOp)-1))
+		} else if e.AllocsPerOp > 0 {
+			dAllocs = fmt.Sprintf("+%d", e.AllocsPerOp)
+		}
+		mark := ""
+		if dNs > regressionLimit {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%% %9s%s\n", e.Name, o.NsPerOp, e.NsPerOp, 100*dNs, dAllocs, mark)
+	}
+	for _, e := range merge(oldRep.Benchmarks) {
+		if !seen[e.Name] {
+			fmt.Printf("%-44s %14.0f %14s %8s %9s  (dropped)\n", e.Name, e.NsPerOp, "-", "-", "-")
+		}
+	}
+	if failed {
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%% in ns/op\n", 100*regressionLimit)
+		return 1
+	}
+	fmt.Println("ok: no benchmark regressed past the limit")
+	return 0
 }

@@ -32,7 +32,6 @@ import (
 	"repro/internal/platform"
 	"repro/internal/prof"
 	"repro/internal/session"
-	"repro/internal/uarch"
 )
 
 func main() {
@@ -115,17 +114,7 @@ func main() {
 		if transportStats != nil {
 			fmt.Println(transportStats())
 		} else {
-			hits, misses, evictions := d.SpectraCacheStats()
-			total := hits + misses
-			pct := 0.0
-			if total > 0 {
-				pct = 100 * float64(hits) / float64(total)
-			}
-			fmt.Printf("spectra cache: %d hits / %d misses / %d evictions (%.1f%% hit rate)\n",
-				hits, misses, evictions, pct)
-			ts := uarch.TraceCacheStats()
-			fmt.Printf("trace cache: %d hits / %d misses / %d extensions / %d evictions, %d entries (%d cycles held)\n",
-				ts.Hits, ts.Misses, ts.Extensions, ts.Evictions, ts.Entries, ts.Cycles)
+			fmt.Println(d.EvalStats())
 		}
 	}
 	if *sess != "" {

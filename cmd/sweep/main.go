@@ -20,7 +20,6 @@ import (
 	"repro/internal/platform"
 	"repro/internal/prof"
 	"repro/internal/report"
-	"repro/internal/uarch"
 )
 
 func main() {
@@ -93,11 +92,7 @@ func main() {
 	fmt.Printf("\nfirst-order resonance estimate: %s (peak %s)\n",
 		report.MHz(res.ResonanceHz), report.DBm(res.PeakDBm))
 	if *verbose {
-		hits, misses, evictions := d.SpectraCacheStats()
-		fmt.Printf("spectra cache: %d hits / %d misses / %d evictions\n", hits, misses, evictions)
-		ts := uarch.TraceCacheStats()
-		fmt.Printf("trace cache: %d hits / %d misses / %d extensions / %d evictions, %d entries\n",
-			ts.Hits, ts.Misses, ts.Extensions, ts.Evictions, ts.Entries)
+		fmt.Println(d.EvalStats())
 	}
 }
 

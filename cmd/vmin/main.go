@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		shmoo   = flag.Bool("shmoo", false, "sweep the clock and report Vmin per frequency instead")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel shmoo points (results are identical at any setting)")
+		verbose = flag.Bool("v", false, "print cache statistics after the run")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -81,6 +82,9 @@ func main() {
 	tester.Parallelism = *jobs
 	if *shmoo {
 		runShmoo(tester, p, d, list, active)
+		if *verbose {
+			fmt.Println(d.EvalStats())
+		}
 		return
 	}
 	tb := report.NewTable(
@@ -103,6 +107,9 @@ func main() {
 			report.MV(res.DroopNominalV), res.Outcome.String())
 	}
 	fmt.Print(tb.String())
+	if *verbose {
+		fmt.Println(d.EvalStats())
+	}
 }
 
 // runShmoo prints a Vmin-vs-frequency curve per workload.

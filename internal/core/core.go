@@ -18,12 +18,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/em"
 	"repro/internal/ga"
 	"repro/internal/instrument"
 	"repro/internal/isa"
 	"repro/internal/platform"
+	"repro/internal/uarch"
 )
 
 // Band is the frequency band searched for the first-order resonance
@@ -104,37 +106,92 @@ func (b *Bench) EMMeasure(d *platform.Domain, l platform.Load) (*instrument.Meas
 // that vary the sample count per request (the lab daemon's MEASURE
 // command) without mutating — or copying — the shared bench.
 func (b *Bench) EMMeasureN(d *platform.Domain, l platform.Load, samples int) (*instrument.Measurement, error) {
+	return b.emMeasure(d, l, samples, nil)
+}
+
+// wattsPool recycles the received-power buffer between measurements; the
+// measurement itself only retains rebinned analyzer data, never this
+// intermediate spectrum.
+var wattsPool sync.Pool
+
+func getWatts(n int) []float64 {
+	if p, _ := wattsPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putWatts(w []float64) {
+	if cap(w) == 0 {
+		return
+	}
+	wattsPool.Put(&w)
+}
+
+func (b *Bench) emMeasure(d *platform.Domain, l platform.Load, samples int, lin *uarch.Lineage) (*instrument.Measurement, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("core: %d samples", samples)
 	}
-	freqs, _, iAmp, _, err := d.Spectra(l, b.Dt, b.N)
+	freqs, _, iAmp, _, err := d.SpectraLineage(l, b.Dt, b.N, lin)
 	if err != nil {
 		return nil, err
 	}
-	_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
+	watts := getWatts(len(freqs))
+	_, err = em.CombineInto(watts, b.Platform.Antenna, []em.Emitter{
 		{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
 	})
 	if err != nil {
+		putWatts(watts)
 		return nil, err
 	}
-	return b.Analyzer.MeasurePeak(freqs, watts, b.Band.Lo, b.Band.Hi, samples)
+	m, err := b.Analyzer.MeasurePeak(freqs, watts, b.Band.Lo, b.Band.Hi, samples)
+	putWatts(watts)
+	return m, err
 }
 
-// EMMeasurer adapts EMMeasure into a GA fitness function: fitness is the
+// uarchLineage converts a GA breeding lineage into the simulator's hint
+// form. A nil hint (gen-0 individuals, elites) means no prefix reuse.
+func uarchLineage(lin *ga.Lineage) *uarch.Lineage {
+	if lin == nil {
+		return nil
+	}
+	return &uarch.Lineage{Diverge: lin.Diverge}
+}
+
+// emMeasurer adapts EMMeasure into a GA fitness function: fitness is the
 // averaged peak power in dBm (tournament selection only needs ranks, so
 // the dB compression is harmless), and the dominant frequency is the
-// per-sweep modal peak bin.
+// per-sweep modal peak bin. It implements ga.LineageMeasurer so bred
+// children resume the micro-architectural simulation from their parent's
+// checkpointed prefix.
+type emMeasurer struct {
+	b           *Bench
+	d           *platform.Domain
+	activeCores int
+}
+
+// Measure implements ga.Measurer.
+func (m emMeasurer) Measure(seq []isa.Inst) (float64, float64, error) {
+	return m.MeasureLineage(seq, nil)
+}
+
+// MeasureLineage implements ga.LineageMeasurer; results are bit-identical
+// to Measure for any lineage value.
+func (m emMeasurer) MeasureLineage(seq []isa.Inst, lin *ga.Lineage) (float64, float64, error) {
+	meas, err := m.b.emMeasure(m.d, platform.Load{Seq: seq, ActiveCores: m.activeCores}, m.b.Samples, uarchLineage(lin))
+	if err != nil {
+		return 0, 0, err
+	}
+	return meas.PeakDBm, meas.PeakHz, nil
+}
+
+// EMMeasurer returns the GA fitness measurer for one domain; the returned
+// value also implements ga.LineageMeasurer.
 func (b *Bench) EMMeasurer(d *platform.Domain, activeCores int) ga.Measurer {
-	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
-		m, err := b.EMMeasure(d, platform.Load{Seq: seq, ActiveCores: activeCores})
-		if err != nil {
-			return 0, 0, err
-		}
-		return m.PeakDBm, m.PeakHz, nil
-	})
+	return emMeasurer{b: b, d: d, activeCores: activeCores}
 }
 
 // DroopMeasurer is the validation fitness of Section 5.1: maximum voltage
@@ -155,31 +212,51 @@ func (b *Bench) PtpMeasurer(d *platform.Domain, activeCores int, dso *instrument
 
 func (b *Bench) voltageMeasurer(d *platform.Domain, activeCores int, dso *instrument.DSO,
 	metric func(*instrument.VoltageTrace, float64) float64) ga.Measurer {
-	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
-		if d.Spec.VoltageVisibility == "none" {
-			return 0, 0, fmt.Errorf("core: domain %s has no voltage visibility", d.Spec.Name)
+	return vMeasurer{b: b, d: d, activeCores: activeCores, dso: dso, metric: metric}
+}
+
+// vMeasurer is the direct-voltage fitness backend; like emMeasurer it
+// implements ga.LineageMeasurer so bred children reuse their parent's
+// checkpointed simulation prefix.
+type vMeasurer struct {
+	b           *Bench
+	d           *platform.Domain
+	activeCores int
+	dso         *instrument.DSO
+	metric      func(*instrument.VoltageTrace, float64) float64
+}
+
+// Measure implements ga.Measurer.
+func (m vMeasurer) Measure(seq []isa.Inst) (float64, float64, error) {
+	return m.MeasureLineage(seq, nil)
+}
+
+// MeasureLineage implements ga.LineageMeasurer; results are bit-identical
+// to Measure for any lineage value.
+func (m vMeasurer) MeasureLineage(seq []isa.Inst, lin *ga.Lineage) (float64, float64, error) {
+	if m.d.Spec.VoltageVisibility == "none" {
+		return 0, 0, fmt.Errorf("core: domain %s has no voltage visibility", m.d.Spec.Name)
+	}
+	l := platform.Load{Seq: seq, ActiveCores: m.activeCores}
+	resp, _, err := m.d.SteadyResponseLineage(l, m.b.Dt, m.b.N, uarchLineage(lin))
+	if err != nil {
+		return 0, 0, err
+	}
+	trace, err := m.dso.Capture(resp)
+	if err != nil {
+		return 0, 0, err
+	}
+	freqs, amps := trace.Spectrum()
+	var domHz, domAmp float64
+	for i, f := range freqs {
+		if f < m.b.Band.Lo || f > m.b.Band.Hi {
+			continue
 		}
-		l := platform.Load{Seq: seq, ActiveCores: activeCores}
-		resp, _, err := d.SteadyResponse(l, b.Dt, b.N)
-		if err != nil {
-			return 0, 0, err
+		if amps[i] > domAmp {
+			domHz, domAmp = f, amps[i]
 		}
-		trace, err := dso.Capture(resp)
-		if err != nil {
-			return 0, 0, err
-		}
-		freqs, amps := trace.Spectrum()
-		var domHz, domAmp float64
-		for i, f := range freqs {
-			if f < b.Band.Lo || f > b.Band.Hi {
-				continue
-			}
-			if amps[i] > domAmp {
-				domHz, domAmp = f, amps[i]
-			}
-		}
-		return metric(trace, d.SupplyVolts()), domHz, nil
-	})
+	}
+	return m.metric(trace, m.d.SupplyVolts()), domHz, nil
 }
 
 // GenerateVirus runs the GA against the EM fitness on one domain and

@@ -11,6 +11,7 @@ package detrand
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // FNV-1a 64-bit parameters.
@@ -73,6 +74,45 @@ func HashFloats(parts ...[]float64) uint64 {
 	return h.Sum()
 }
 
+// HashFloatsFrom is HashFloats resuming from a saved intermediate state
+// (a Sum taken part-way through the fold): HashFloats(a, b) equals
+// HashFloatsFrom(HashFloats(a), b). Hot paths use it with GridState to
+// skip re-folding a shared, immutable prefix on every call.
+func HashFloatsFrom(state uint64, parts ...[]float64) uint64 {
+	h := Hash{sum: state}
+	for _, p := range parts {
+		h.Floats(p)
+	}
+	return h.Sum()
+}
+
+// gridKey identifies an immutable float slice by backing-array identity.
+// Holding the pointer in the key pins the array, so a recycled allocation
+// can never alias a stale entry.
+type gridKey struct {
+	ptr *float64
+	n   int
+}
+
+var gridStates sync.Map // gridKey -> uint64
+
+// GridState returns the hash state after folding xs into a fresh hash,
+// memoized per backing array. It is meant for long-lived, read-only grids
+// (frequency axes of cached transfer sets) that prefix many request hashes;
+// mutating a slice after passing it here is a bug.
+func GridState(xs []float64) uint64 {
+	if len(xs) == 0 {
+		return HashFloats(xs)
+	}
+	key := gridKey{ptr: &xs[0], n: len(xs)}
+	if v, ok := gridStates.Load(key); ok {
+		return v.(uint64)
+	}
+	state := HashFloats(xs)
+	gridStates.Store(key, state)
+	return state
+}
+
 // mix64 is the splitmix64 finalizer: a cheap bijective scrambler that turns
 // structured inputs (seed, content hash, small indices) into well-spread
 // seeds, so nearby requests get decorrelated streams.
@@ -87,9 +127,34 @@ func mix64(x uint64) uint64 {
 // the given parts (typically a content hash plus a sample index). The same
 // inputs always produce the same stream, on any goroutine, in any order.
 func Stream(seed int64, parts ...uint64) *rand.Rand {
+	return rand.New(rand.NewSource(streamSeed(seed, parts)))
+}
+
+func streamSeed(seed int64, parts []uint64) int64 {
 	x := mix64(uint64(seed))
 	for _, p := range parts {
 		x = mix64(x ^ p)
 	}
-	return rand.New(rand.NewSource(int64(x)))
+	return int64(x)
+}
+
+// rngPool recycles generators between PooledStream calls; a reseed
+// reinitializes the source exactly as a fresh rand.NewSource does, so a
+// pooled stream is bit-identical to Stream with the same inputs.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// PooledStream is Stream drawing the generator from a pool, for hot loops
+// that would otherwise allocate the ~5 KiB source on every request. Hand
+// the stream back with Recycle when done; never use it afterwards.
+func PooledStream(seed int64, parts ...uint64) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(streamSeed(seed, parts))
+	return r
+}
+
+// Recycle returns a PooledStream generator to the pool.
+func Recycle(r *rand.Rand) {
+	if r != nil {
+		rngPool.Put(r)
+	}
 }

@@ -37,6 +37,40 @@ var (
 	rfftPlans = map[int]*rfftPlan{}
 )
 
+// specPools recycles half-spectrum buffers per length; RFFT draws from it
+// and callers that consume a spectrum locally hand it back via PutSpectrum.
+var specPools sync.Map // int (len) -> *sync.Pool of *[]complex128
+
+func specPoolFor(n int) *sync.Pool {
+	if p, ok := specPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := specPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetSpectrum returns an uninitialized half-spectrum buffer of length n,
+// recycled when possible. Callers must overwrite every element.
+func GetSpectrum(n int) []complex128 {
+	if n == 0 {
+		return nil
+	}
+	if ptr, _ := specPoolFor(n).Get().(*[]complex128); ptr != nil {
+		return *ptr
+	}
+	return make([]complex128, n)
+}
+
+// PutSpectrum recycles a half-spectrum previously returned by RFFT or
+// GetSpectrum. The caller must not touch the slice afterwards; spectra that
+// escaped into a cache or result must never be recycled.
+func PutSpectrum(spec []complex128) {
+	if len(spec) == 0 || len(spec) != cap(spec) {
+		return
+	}
+	specPoolFor(len(spec)).Put(&spec)
+}
+
 func rfftPlanFor(n int) *rfftPlan {
 	rfftMu.Lock()
 	p, ok := rfftPlans[n]
@@ -91,7 +125,7 @@ func RFFT(x []float64) []complex128 {
 	} else {
 		Z = bluestein(Z, false)
 	}
-	out := make([]complex128, half)
+	out := GetSpectrum(half)
 	for k := 0; k <= m; k++ {
 		zk := Z[k%m]
 		zmk := cmplx.Conj(Z[(m-k)%m])

@@ -14,6 +14,7 @@ package em
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Antenna models the square-loop receiver used in the paper: a flat
@@ -147,33 +148,102 @@ func CombinedSpectrum(ant Antenna, emitters []Emitter) (freqs, watts []float64, 
 	if len(emitters) == 0 {
 		return nil, nil, fmt.Errorf("em: no emitters")
 	}
+	total := make([]float64, len(emitters[0].Freqs))
+	freqs, err = CombineInto(total, ant, emitters)
+	if err != nil {
+		return nil, nil, err
+	}
+	return freqs, total, nil
+}
+
+// pathCoeff holds the current-independent per-bin factors of ReceivedPower
+// for one (antenna, path, frequency grid) combination: pre[i] is
+// CouplingK·(f/RefHz)² and gain[i] the antenna gain, both folded in the
+// exact multiplication order ReceivedPower uses.
+type pathCoeff struct {
+	pre  []float64
+	gain []float64
+}
+
+// pathCoeffKey identifies a coefficient table. The grid is keyed by backing
+// array identity; holding the pointer in the key pins the array, so a
+// recycled allocation can never alias a stale entry. Grids are the
+// long-lived freqs slices of cached PDN transfer sets, so the cache stays
+// small.
+type pathCoeffKey struct {
+	ant  Antenna
+	path Path
+	ptr  *float64
+	n    int
+}
+
+var pathCoeffs sync.Map // pathCoeffKey -> *pathCoeff
+
+func coeffsFor(ant Antenna, p Path, freqs []float64) *pathCoeff {
+	key := pathCoeffKey{ant: ant, path: p, ptr: &freqs[0], n: len(freqs)}
+	if v, ok := pathCoeffs.Load(key); ok {
+		return v.(*pathCoeff)
+	}
+	c := &pathCoeff{pre: make([]float64, len(freqs)), gain: make([]float64, len(freqs))}
+	for i, f := range freqs {
+		fr := f / p.RefHz
+		c.pre[i] = p.CouplingK * fr * fr
+		c.gain[i] = ant.Gain(f)
+	}
+	v, _ := pathCoeffs.LoadOrStore(key, c)
+	return v.(*pathCoeff)
+}
+
+// CombineInto is CombinedSpectrum writing into a caller-provided buffer of
+// the grid length, so hot paths can recycle it. dst is fully overwritten.
+func CombineInto(dst []float64, ant Antenna, emitters []Emitter) (freqs []float64, err error) {
+	if len(emitters) == 0 {
+		return nil, fmt.Errorf("em: no emitters")
+	}
 	base := emitters[0].Freqs
-	total := make([]float64, len(base))
+	if len(dst) != len(base) {
+		return nil, fmt.Errorf("em: destination has %d bins, want %d", len(dst), len(base))
+	}
+	clear(dst)
 	for ei, e := range emitters {
 		if len(e.Freqs) != len(base) {
-			return nil, nil, fmt.Errorf("em: emitter %d has %d bins, want %d", ei, len(e.Freqs), len(base))
+			return nil, fmt.Errorf("em: emitter %d has %d bins, want %d", ei, len(e.Freqs), len(base))
 		}
 		for i := range base {
 			if e.Freqs[i] != base[i] {
-				return nil, nil, fmt.Errorf("em: emitter %d bin %d frequency %v differs from %v", ei, i, e.Freqs[i], base[i])
+				return nil, fmt.Errorf("em: emitter %d bin %d frequency %v differs from %v", ei, i, e.Freqs[i], base[i])
 			}
 		}
 		// Fold the emitter's received power into the total directly rather
 		// than materializing a per-emitter spectrum; the validation and the
 		// per-bin arithmetic match ReceivedSpectrum exactly.
 		if err := e.Path.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei, err)
+			return nil, fmt.Errorf("em: emitter %d: %w", ei, err)
 		}
 		if err := ant.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei, err)
+			return nil, fmt.Errorf("em: emitter %d: %w", ei, err)
 		}
 		if len(e.Freqs) != len(e.IAmp) {
-			return nil, nil, fmt.Errorf("em: emitter %d: %w", ei,
+			return nil, fmt.Errorf("em: emitter %d: %w", ei,
 				fmt.Errorf("em: spectrum length mismatch %d vs %d", len(e.Freqs), len(e.IAmp)))
 		}
-		for i := range e.Freqs {
-			total[i] += e.Path.ReceivedPower(ant, e.Freqs[i], e.IAmp[i])
+		if len(base) == 0 {
+			continue
+		}
+		// The distance factor and the per-bin coefficients hoist everything
+		// current-independent out of the loop; the remaining multiplications
+		// run in ReceivedPower's exact left-to-right order, so the folded
+		// values are bit-identical to calling it per bin.
+		d := e.Path.RefDistanceM / e.Path.DistanceM
+		dist := d * d * d
+		c := coeffsFor(ant, e.Path, e.Freqs)
+		for i := range base {
+			f, iAmp := e.Freqs[i], e.IAmp[i]
+			if f <= 0 || iAmp <= 0 {
+				continue
+			}
+			dst[i] += c.pre[i] * iAmp * iAmp * dist * dist * c.gain[i]
 		}
 	}
-	return base, total, nil
+	return base, nil
 }

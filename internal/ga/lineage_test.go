@@ -1,0 +1,174 @@
+package ga
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// measuredPop builds a population with deterministic sequences and assigned
+// fitness, as if one generation had just been evaluated.
+func measuredPop(rng *rand.Rand, pool *isa.Pool, n, seqLen int) []Individual {
+	pop := make([]Individual, n)
+	for i := range pop {
+		pop[i] = Individual{Seq: pool.RandomSequence(rng, seqLen), Fitness: rng.Float64() * 100}
+	}
+	return pop
+}
+
+func sameSeq(a, b []isa.Inst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameInst(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLineageRecordsExactDivergence is the breeding property test: every
+// bred child carries a lineage whose Diverge is exactly the length of the
+// verbatim prefix it shares with its first parent, and whose Parent hash
+// identifies that parent. The parent is recovered independently by
+// replaying the selection draws with a second generator at the same seed —
+// no peeking into breeding internals.
+func TestLineageRecordsExactDivergence(t *testing.T) {
+	pool := isa.ARM64Pool()
+	for _, xover := range []Crossover{OnePoint, TwoPoint, Uniform} {
+		cfg := DefaultConfig(pool)
+		cfg.PopulationSize = 24
+		cfg.SeqLen = 40
+		cfg.Crossover = xover
+		cfg.MutationRate = 0.1 // high enough that divergence points vary widely
+		popRng := rand.New(rand.NewSource(3))
+		pop := measuredPop(popRng, pool, cfg.PopulationSize, cfg.SeqLen)
+
+		rngA := rand.New(rand.NewSource(7))
+		rngB := rand.New(rand.NewSource(7))
+		next := nextGeneration(cfg, rngA, pop)
+		if len(next) != cfg.PopulationSize {
+			t.Fatalf("next generation has %d individuals, want %d", len(next), cfg.PopulationSize)
+		}
+
+		// Elites are byte-identical clones of the fittest and carry no
+		// lineage (their measurement can come straight from the parent's
+		// cached spectra; resuming a full prefix would be pointless).
+		el := elites(pop, cfg.Elites)
+		for i := 0; i < cfg.Elites; i++ {
+			if next[i].lin != nil {
+				t.Fatalf("%v: elite %d carries lineage %+v", xover, i, next[i].lin)
+			}
+			if !sameSeq(next[i].Seq, el[i].Seq) {
+				t.Fatalf("%v: elite %d is not a clone of the %d-fittest", xover, i, i)
+			}
+			if &next[i].Seq[0] == &el[i].Seq[0] {
+				t.Fatalf("%v: elite %d aliases the parent's sequence", xover, i)
+			}
+		}
+
+		// Replay the breeding draws to identify each child's first parent.
+		for i := cfg.Elites; i < len(next); i++ {
+			a := selectParent(cfg, rngB, pop, nil)
+			b := selectParent(cfg, rngB, pop, nil)
+			child := recombine(cfg, rngB, a, b)
+			mutate(cfg, rngB, child)
+			if !sameSeq(child, next[i].Seq) {
+				t.Fatalf("%v: replay diverged from breeding at child %d", xover, i)
+			}
+			lin := next[i].lin
+			if lin == nil {
+				t.Fatalf("%v: bred child %d has no lineage", xover, i)
+			}
+			if lin.Parent != seqHash(a) {
+				t.Fatalf("%v: child %d parent hash %x, want %x", xover, i, lin.Parent, seqHash(a))
+			}
+			if lin.Diverge < 0 || lin.Diverge > len(child) {
+				t.Fatalf("%v: child %d divergence %d out of range", xover, i, lin.Diverge)
+			}
+			for j := 0; j < lin.Diverge; j++ {
+				if !sameInst(child[j], a[j]) {
+					t.Fatalf("%v: child %d differs from parent at %d < Diverge=%d", xover, i, j, lin.Diverge)
+				}
+			}
+			if lin.Diverge < len(child) && sameInst(child[lin.Diverge], a[lin.Diverge]) {
+				t.Fatalf("%v: child %d still matches parent at Diverge=%d (prefix understated)",
+					xover, i, lin.Diverge)
+			}
+		}
+	}
+}
+
+// lineageRecorder records which path measureAll routes each sequence
+// through.
+type lineageRecorder struct {
+	mu       sync.Mutex
+	plain    int
+	lineaged int
+	lins     []*Lineage
+}
+
+func (r *lineageRecorder) Measure(seq []isa.Inst) (float64, float64, error) {
+	r.mu.Lock()
+	r.plain++
+	r.mu.Unlock()
+	return float64(len(seq)), 0, nil
+}
+
+func (r *lineageRecorder) MeasureLineage(seq []isa.Inst, lin *Lineage) (float64, float64, error) {
+	r.mu.Lock()
+	r.lineaged++
+	r.lins = append(r.lins, lin)
+	r.mu.Unlock()
+	return float64(len(seq)), 0, nil
+}
+
+// TestMeasureAllRoutesLineage pins the dispatch contract: bred individuals
+// reach MeasureLineage with their recorded lineage, lineage-free ones (and
+// any population under a plain Measurer) take the Measure path.
+func TestMeasureAllRoutesLineage(t *testing.T) {
+	pool := isa.ARM64Pool()
+	rng := rand.New(rand.NewSource(9))
+	pop := measuredPop(rng, pool, 8, 20)
+	pop[3].lin = &Lineage{Parent: 42, Diverge: 7}
+	pop[5].lin = &Lineage{Parent: 43, Diverge: 0}
+
+	rec := &lineageRecorder{}
+	if err := measureAll(pop, rec, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rec.plain != 6 || rec.lineaged != 2 {
+		t.Fatalf("routing: %d plain / %d lineaged, want 6/2", rec.plain, rec.lineaged)
+	}
+	seen := map[uint64]bool{}
+	for _, l := range rec.lins {
+		seen[l.Parent] = true
+	}
+	if !seen[42] || !seen[43] {
+		t.Fatalf("lineages lost in dispatch: %+v", rec.lins)
+	}
+
+	// A plain Measurer never sees lineage, and lineage must not leak out of
+	// a finished run: Best and FinalPopulation are clones.
+	cfg := DefaultConfig(pool)
+	cfg.PopulationSize = 10
+	cfg.Generations = 3
+	cfg.SeqLen = 20
+	res, err := Run(cfg, MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
+		return float64(seq[0].Dest), 0, nil
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.lin != nil {
+		t.Fatal("Best carries internal lineage")
+	}
+	for i := range res.FinalPopulation {
+		if res.FinalPopulation[i].lin != nil {
+			t.Fatalf("FinalPopulation[%d] carries internal lineage", i)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/detrand"
 	"repro/internal/dsp"
@@ -105,25 +106,56 @@ func (sa *SpectrumAnalyzer) Capture(freqs, watts []float64) (*Sweep, error) {
 	return sa.capture(freqs, watts, detrand.Stream(sa.seed, detrand.HashFloats(freqs, watts), 0)), nil
 }
 
+// nBins returns the analyzer's RBW bin count.
+func (sa *SpectrumAnalyzer) nBins() int {
+	n := int(math.Ceil((sa.StopHz - sa.StartHz) / sa.RBWHz))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // rebin sums the incident spectrum into the analyzer's RBW bins. The
 // result depends only on the spectrum, not on any noise draw, so repeated
 // sweeps over the same signal share one re-binning pass.
 func (sa *SpectrumAnalyzer) rebin(freqs, watts []float64) []float64 {
-	nBins := int(math.Ceil((sa.StopHz - sa.StartHz) / sa.RBWHz))
-	if nBins < 1 {
-		nBins = 1
-	}
-	acc := make([]float64, nBins)
+	acc := make([]float64, sa.nBins())
+	sa.rebinInto(acc, freqs, watts)
+	return acc
+}
+
+// rebinInto is rebin onto a caller-provided (zeroed) prefix of the bin
+// grid; incident power falling past len(acc) is dropped, which is exact
+// when the caller never reads those bins.
+func (sa *SpectrumAnalyzer) rebinInto(acc, freqs, watts []float64) {
 	for i, f := range freqs {
 		if f < sa.StartHz || f >= sa.StopHz {
 			continue
 		}
 		bin := int((f - sa.StartHz) / sa.RBWHz)
-		if bin >= 0 && bin < nBins {
+		if bin >= 0 && bin < len(acc) {
 			acc[bin] += watts[i]
 		}
 	}
-	return acc
+}
+
+// accPool recycles the re-binned power buffer between MeasurePeak calls.
+var accPool sync.Pool
+
+func getAcc(n int) []float64 {
+	if p, _ := accPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		acc := (*p)[:n]
+		clear(acc)
+		return acc
+	}
+	return make([]float64, n)
+}
+
+func putAcc(acc []float64) {
+	if cap(acc) == 0 {
+		return
+	}
+	accPool.Put(&acc)
 }
 
 // capture is the noise-source-explicit sweep used by Capture and MeasurePeak.
@@ -160,24 +192,31 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 	if len(freqs) != len(watts) {
 		return nil, fmt.Errorf("instrument: spectrum length mismatch %d vs %d", len(freqs), len(watts))
 	}
-	h := detrand.HashFloats(freqs, watts)
-	acc := sa.rebin(freqs, watts) // noise-independent; shared by all samples
+	// The frequency grid is a long-lived axis shared by every measurement on
+	// a platform, so its hash-state prefix is memoized; only the watts fold
+	// runs per call.
+	h := detrand.HashFloatsFrom(detrand.GridState(freqs), watts)
+	// Banded sweep, bit-identical to a full capture + PeakInBand: the noise
+	// stream is consumed strictly in bin order, so bins past the band's
+	// upper edge — whose draws come after every in-band draw — can be
+	// skipped outright (the rebin never even accumulates them), and bins
+	// below the lower edge consume their two draws but skip the dBm
+	// conversion.
+	nBins := sa.nBins()
+	bLimit := 0
+	for bLimit < nBins && sa.StartHz+(float64(bLimit)+0.5)*sa.RBWHz <= hi {
+		bLimit++
+	}
+	acc := getAcc(bLimit) // noise-independent; shared by all samples
+	sa.rebinInto(acc, freqs, watts)
 	floor := dsp.FromDBm(sa.NoiseFloorDBm)
 	peaks := make([]float64, 0, samples)
 	freqVotes := make(map[float64]int)
 	for s := 0; s < samples; s++ {
-		// Banded sweep, bit-identical to a full capture + PeakInBand: the
-		// noise stream is consumed strictly in bin order, so bins past the
-		// band's upper edge — whose draws come after every in-band draw —
-		// can be skipped outright, and bins below the lower edge consume
-		// their two draws but skip the dBm conversion.
-		rng := detrand.Stream(sa.seed, h, uint64(s))
+		rng := detrand.PooledStream(sa.seed, h, uint64(s))
 		peakF, peakDBm, ok := 0.0, math.Inf(-1), false
 		for b := 0; b < len(acc); b++ {
 			f := sa.StartHz + (float64(b)+0.5)*sa.RBWHz
-			if f > hi {
-				break
-			}
 			u := rng.Float64()
 			g := rng.NormFloat64()
 			if f < lo {
@@ -188,12 +227,15 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 				peakF, peakDBm, ok = f, dbm, true
 			}
 		}
+		detrand.Recycle(rng)
 		if !ok {
+			putAcc(acc)
 			return nil, fmt.Errorf("instrument: band [%v, %v] outside analyzer span", lo, hi)
 		}
 		peaks = append(peaks, peakDBm)
 		freqVotes[peakF]++
 	}
+	putAcc(acc)
 	// RMS in linear power terms, reported in dBm.
 	var sum float64
 	for _, dbm := range peaks {

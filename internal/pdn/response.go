@@ -151,20 +151,25 @@ func (ts *TransferSet) SteadyStateAt(load []float64, vnominal float64) (*Respons
 	spec := dsp.RFFT(load)
 	n := ts.N
 	half := n/2 + 1
-	vspec := make([]complex128, half)
-	ispec := make([]complex128, half)
+	vspec := dsp.GetSpectrum(half)
+	ispec := dsp.GetSpectrum(half)
 	for k := 0; k < half; k++ {
 		vspec[k] = spec[k] * ts.HV[k]
 		ispec[k] = spec[k] * ts.HI[k]
 	}
+	dsp.PutSpectrum(spec)
 	// The load is real and the transfers are evaluated on the half grid, so
 	// the responses are real too: invert on the half spectrum directly.
 	vt := dsp.IRFFT(vspec, n)
 	it := dsp.IRFFT(ispec, n)
-	out := &Response{Dt: ts.Dt, VDie: make([]float64, n), IDie: it}
+	dsp.PutSpectrum(vspec)
+	dsp.PutSpectrum(ispec)
+	// Lift the voltage perturbation to the DC level in place; vt is freshly
+	// allocated by IRFFT, so the Response owns it.
 	for i := 0; i < n; i++ {
-		out.VDie[i] = vnominal + vt[i]
+		vt[i] = vnominal + vt[i]
 	}
+	out := &Response{Dt: ts.Dt, VDie: vt, IDie: it}
 	// IDie from the transfer is the *perturbation*; its DC component equals
 	// the load's mean already via HI[0] (at DC all load current flows
 	// through the inductor), so nothing more to add.
@@ -195,6 +200,7 @@ func (ts *TransferSet) Spectra(load []float64) (freqs, vAmp, iAmp []float64, err
 		vAmp[k] = mag * ts.absHV[k]
 		iAmp[k] = mag * ts.absHI[k]
 	}
+	dsp.PutSpectrum(spec)
 	return ts.freqs, vAmp, iAmp, nil
 }
 

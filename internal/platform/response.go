@@ -58,13 +58,15 @@ func (d *Domain) Current(l Load, dt float64, n int) ([]float64, *uarch.Result, e
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.currentAt(l, dt, n, clock, supply, powered)
+	return d.currentAt(l, dt, n, clock, supply, powered, nil)
 }
 
 // currentAt is Current with the domain state passed explicitly, so
 // concurrent sweeps can evaluate many operating points without mutating
-// (or locking) the shared domain.
-func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, powered int) ([]float64, *uarch.Result, error) {
+// (or locking) the shared domain. The returned waveform may come from the
+// power wave pool; internal callers that consume it immediately hand it
+// back via power.PutWave.
+func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) ([]float64, *uarch.Result, error) {
 	if err := d.validateLoad(l); err != nil {
 		return nil, nil, err
 	}
@@ -75,7 +77,7 @@ func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, pow
 		ActiveCores: l.ActiveCores,
 		PhaseCycles: l.PhaseCycles,
 	}
-	wave, res, err := cl.Current(dt, n)
+	wave, res, err := cl.CurrentLineage(dt, n, lin)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,10 +92,17 @@ func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, pow
 // SteadyResponse returns the exact periodic steady-state die voltage and
 // package-inductor current under the workload, using cached PDN transfers.
 func (d *Domain) SteadyResponse(l Load, dt float64, n int) (*pdn.Response, *uarch.Result, error) {
+	return d.SteadyResponseLineage(l, dt, n, nil)
+}
+
+// SteadyResponseLineage is SteadyResponse with an optional simulation
+// lineage hint (see uarch.RunLineage); results are bit-identical for any
+// hint value.
+func (d *Domain) SteadyResponseLineage(l Load, dt float64, n int, lin *uarch.Lineage) (*pdn.Response, *uarch.Result, error) {
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.steadyResponseAt(l, dt, n, clock, supply, powered)
+	return d.steadyResponseAt(l, dt, n, clock, supply, powered, lin)
 }
 
 // SteadyResponseAt is SteadyResponse at an explicit clock and supply
@@ -104,11 +113,11 @@ func (d *Domain) SteadyResponseAt(l Load, dt float64, n int, clockHz, supplyVolt
 	if supplyVolts <= 0 || supplyVolts > 2*d.Spec.PDN.VNominal {
 		return nil, nil, fmt.Errorf("platform: %s: supply %v out of range", d.Spec.Name, supplyVolts)
 	}
-	return d.steadyResponseAt(l, dt, n, clockHz, supplyVolts, d.PoweredCores())
+	return d.steadyResponseAt(l, dt, n, clockHz, supplyVolts, d.PoweredCores(), nil)
 }
 
-func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float64, powered int) (*pdn.Response, *uarch.Result, error) {
-	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered)
+func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) (*pdn.Response, *uarch.Result, error) {
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,6 +126,7 @@ func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float
 		return nil, nil, err
 	}
 	resp, err := ts.SteadyStateAt(wave, supply)
+	power.PutWave(wave)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -128,10 +138,16 @@ func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float
 // (see spectraKey); the returned slices are shared and must be treated as
 // read-only.
 func (d *Domain) Spectra(l Load, dt float64, n int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+	return d.SpectraLineage(l, dt, n, nil)
+}
+
+// SpectraLineage is Spectra with an optional simulation lineage hint (see
+// uarch.RunLineage); results are bit-identical for any hint value.
+func (d *Domain) SpectraLineage(l Load, dt float64, n int, lin *uarch.Lineage) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.spectraAt(l, dt, n, clock, supply, powered)
+	return d.spectraAt(l, dt, n, clock, supply, powered, lin)
 }
 
 // SpectraAt is Spectra at an explicit clock (the supply and powered-core
@@ -142,10 +158,10 @@ func (d *Domain) SpectraAt(l Load, dt float64, n int, clockHz float64) (freqs, v
 	d.mu.Lock()
 	supply, powered := d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.spectraAt(l, dt, n, clockHz, supply, powered)
+	return d.spectraAt(l, dt, n, clockHz, supply, powered, nil)
 }
 
-func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
 	key := spectraKey{load: l.Hash(), powered: powered, clock: clock, supply: supply, dt: dt, n: n}
 	d.spectraMu.Lock()
 	if el, ok := d.spectra[key]; ok {
@@ -158,7 +174,7 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 	d.spectraMu.Unlock()
 	d.spectraMisses.Add(1)
 
-	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered)
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -167,6 +183,7 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 		return nil, nil, nil, nil, err
 	}
 	freqs, vAmp, iAmp, err = ts.Spectra(wave)
+	power.PutWave(wave)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -231,6 +248,7 @@ func (d *Domain) TransientResponse(l Load, dt float64, n int) (*pdn.Response, *u
 		return wave[idx]
 	}
 	resp, err := m.Transient(sampled, dt, n-1)
+	power.PutWave(wave)
 	if err != nil {
 		return nil, nil, err
 	}

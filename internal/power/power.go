@@ -13,6 +13,7 @@ package power
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/uarch"
@@ -60,7 +61,7 @@ func (cl ClusterLoad) Validate() error {
 // hits — prefix-consistent synthesis keeps every stage bit-identical to
 // running the simulator per stage, which is what happens when the cache
 // is disabled.
-func (cl ClusterLoad) steadyRun(dt float64, n int) (res *uarch.Result, window, scale float64, err error) {
+func (cl ClusterLoad) steadyRun(dt float64, n int, lin *uarch.Lineage) (res *uarch.Result, window, scale float64, err error) {
 	// Longest phase offset extends the needed steady window.
 	maxPhase := 0.0
 	for _, p := range cl.PhaseCycles {
@@ -77,10 +78,10 @@ func (cl ClusterLoad) steadyRun(dt float64, n int) (res *uarch.Result, window, s
 		// too and reports the canonical (window-sized) error.
 		upfront := int(math.Ceil(window*1.05+maxPhase)) + 2
 		if upfront > minSteady {
-			_, _ = uarch.Run(cl.Core, cl.Seq, upfront)
+			_, _ = uarch.RunLineage(cl.Core, cl.Seq, upfront, lin)
 		}
 	}
-	res, err = uarch.Run(cl.Core, cl.Seq, minSteady)
+	res, err = uarch.RunLineage(cl.Core, cl.Seq, minSteady, lin)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -101,7 +102,7 @@ func (cl ClusterLoad) steadyRun(dt float64, n int) (res *uarch.Result, window, s
 	}
 	needed := int(math.Ceil(window*scale+maxPhase)) + 2
 	if steadyLen := len(res.SteadyCharge()); steadyLen < needed {
-		res, err = uarch.Run(cl.Core, cl.Seq, needed)
+		res, err = uarch.RunLineage(cl.Core, cl.Seq, needed, lin)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -109,21 +110,53 @@ func (cl ClusterLoad) steadyRun(dt float64, n int) (res *uarch.Result, window, s
 	return res, window, scale, nil
 }
 
+// wavePool recycles current-waveform buffers between Current calls. The
+// waveform is the largest per-evaluation allocation (n float64s); callers
+// that are done with it hand it back via PutWave.
+var wavePool sync.Pool
+
+// getWave returns a zeroed waveform buffer of length n.
+func getWave(n int) []float64 {
+	if p, _ := wavePool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		w := (*p)[:n]
+		clear(w)
+		return w
+	}
+	return make([]float64, n)
+}
+
+// PutWave recycles a waveform previously returned by Current (or
+// CurrentLineage). The caller must not touch the slice afterwards. Putting
+// a waveform that escaped into a cache or result is a bug; only transient,
+// locally consumed waveforms may be recycled.
+func PutWave(w []float64) {
+	if cap(w) == 0 {
+		return
+	}
+	wavePool.Put(&w)
+}
+
 // Current simulates the loop and returns the cluster current sampled at dt
 // over n samples, together with the micro-architectural result.
 func (cl ClusterLoad) Current(dt float64, n int) ([]float64, *uarch.Result, error) {
+	return cl.CurrentLineage(dt, n, nil)
+}
+
+// CurrentLineage is Current with an optional simulation lineage hint (see
+// uarch.RunLineage); results are bit-identical for any hint value.
+func (cl ClusterLoad) CurrentLineage(dt float64, n int, lin *uarch.Lineage) ([]float64, *uarch.Result, error) {
 	if err := cl.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if dt <= 0 || n < 1 {
 		return nil, nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
 	}
-	res, _, scale, err := cl.steadyRun(dt, n)
+	res, _, scale, err := cl.steadyRun(dt, n, lin)
 	if err != nil {
 		return nil, nil, err
 	}
 	steady := res.SteadyCharge()
-	out := make([]float64, n)
+	out := getWave(n)
 	if len(cl.PhaseCycles) == 0 {
 		// All cores aligned: every core samples the same trace index, so
 		// resample once and add the per-core value ActiveCores times (the
@@ -170,7 +203,7 @@ func (cl ClusterLoad) LoopHz(dt float64, n int) (float64, *uarch.Result, error) 
 	if dt <= 0 || n < 1 {
 		return 0, nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
 	}
-	res, _, _, err := cl.steadyRun(dt, n)
+	res, _, _, err := cl.steadyRun(dt, n, nil)
 	if err != nil {
 		return 0, nil, err
 	}

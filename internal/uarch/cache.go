@@ -75,6 +75,17 @@ func newTraceCache() *traceCache {
 // field and, per instruction, the complete definition and operands.
 func traceKey(cfg *Config, seq []isa.Inst) uint64 {
 	h := detrand.NewHash()
+	hashCfg(h, cfg)
+	h.Int(len(seq))
+	for _, in := range seq {
+		hashInst(h, in)
+	}
+	return h.Sum()
+}
+
+// hashCfg folds every config field a simulation depends on. Shared between
+// the trace cache key and the checkpoint store's prefix keys.
+func hashCfg(h *detrand.Hash, cfg *Config) {
 	h.String(cfg.Name)
 	h.Int(boolBit(cfg.OutOfOrder))
 	h.Int(cfg.IssueWidth)
@@ -86,26 +97,26 @@ func traceKey(cfg *Config, seq []isa.Inst) uint64 {
 	h.Float64(cfg.BaseCharge)
 	h.Float64(cfg.IdleSlotCharge)
 	h.Float64(cfg.CurrentSlewTau)
-	h.Int(len(seq))
-	for _, in := range seq {
-		d := in.Def
-		h.String(d.Mnemonic)
-		h.Int(int(d.Class))
-		h.Int(int(d.Unit))
-		h.Int(d.Latency)
-		h.Int(d.Block)
-		h.Float64(d.Charge)
-		h.Int(int(d.RegFile))
-		h.Int(d.NSrc)
-		h.Int(boolBit(d.DestIsSrc))
-		h.Int(int(d.Mem))
-		h.Int(boolBit(d.NoDest))
-		h.Int(in.Dest)
-		h.Int(in.Srcs[0])
-		h.Int(in.Srcs[1])
-		h.Int(in.Addr)
-	}
-	return h.Sum()
+}
+
+// hashInst folds one instruction's complete definition and operands.
+func hashInst(h *detrand.Hash, in isa.Inst) {
+	d := in.Def
+	h.String(d.Mnemonic)
+	h.Int(int(d.Class))
+	h.Int(int(d.Unit))
+	h.Int(d.Latency)
+	h.Int(d.Block)
+	h.Float64(d.Charge)
+	h.Int(int(d.RegFile))
+	h.Int(d.NSrc)
+	h.Int(boolBit(d.DestIsSrc))
+	h.Int(int(d.Mem))
+	h.Int(boolBit(d.NoDest))
+	h.Int(in.Dest)
+	h.Int(in.Srcs[0])
+	h.Int(in.Srcs[1])
+	h.Int(in.Addr)
 }
 
 func boolBit(b bool) int {
@@ -184,14 +195,14 @@ func (c *traceCache) install(e *traceEntry, prev, h *traceHist) {
 }
 
 // run serves one Run request through the cache.
-func (c *traceCache) run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Result, error) {
+func (c *traceCache) run(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*Result, error) {
 	key := traceKey(&cfg, seq)
 	e, ok := c.lookup(key, &cfg, seq)
 	if !ok {
 		// Hash collision with different content: simulate uncached rather
 		// than fight over the slot (counted as a miss).
 		c.misses.Add(1)
-		hist, err := newSim(&cfg, seq, simHint(minSteadyCycles)).run(minSteadyCycles)
+		hist, err := simulate(&cfg, seq, minSteadyCycles, lin)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +227,7 @@ func (c *traceCache) run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Resu
 		} else {
 			c.misses.Add(1)
 		}
-		h2, err := newSim(&e.cfg, e.seq, simHint(simSteady)).run(simSteady)
+		h2, err := simulate(&e.cfg, e.seq, simSteady, lin)
 		if err != nil {
 			e.simMu.Unlock()
 			// Failure to reach steady state is monotone in the window

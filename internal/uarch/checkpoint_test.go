@@ -1,0 +1,271 @@
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// ckptTestEnv disables the trace cache (so RunLineage exercises the
+// checkpointed simulate path directly), resets the checkpoint store and
+// restores everything on cleanup.
+func ckptTestEnv(t *testing.T) {
+	t.Helper()
+	prevTC := SetTraceCacheEnabled(false)
+	prevCk := SetCheckpointsEnabled(true)
+	ResetCheckpointStore()
+	t.Cleanup(func() {
+		SetTraceCacheEnabled(prevTC)
+		SetCheckpointsEnabled(prevCk)
+		ResetCheckpointStore()
+		ResetTraceCache()
+	})
+}
+
+// childAt breeds a deterministic child sharing exactly the first d
+// instructions with the parent (the tail is drawn fresh, like a crossover
+// suffix plus mutations).
+func childAt(rng *rand.Rand, pool *isa.Pool, parent []isa.Inst, d int) []isa.Inst {
+	child := append([]isa.Inst(nil), parent[:d]...)
+	if d < len(parent) {
+		child = append(child, pool.RandomSequence(rng, len(parent)-d)...)
+	}
+	return child
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole property test: resuming
+// a child from its parent's checkpoints produces results bit-identical to
+// a fresh, checkpoint-free simulation — across configs, ISAs, divergence
+// points below/at/between/above the snapshot interval, and lineage hints
+// that overstate the shared prefix.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	ckptTestEnv(t)
+	pools := map[string]*isa.Pool{"arm64": isa.ARM64Pool(), "x86": isa.X86Pool()}
+	const steady = 700
+	for _, cfg := range []Config{CortexA72(), CortexA53(), AthlonII()} {
+		for pname, pool := range pools {
+			rng := rand.New(rand.NewSource(97))
+			parent := pool.RandomSequence(rng, 50)
+			for _, d := range []int{3, 16, 17, 31, 32, 48, 50} {
+				label := fmt.Sprintf("%s/%s d=%d", cfg.Name, pname, d)
+				child := childAt(rng, pool, parent, d)
+				want := uncachedRun(t, cfg, child, steady)
+
+				ResetCheckpointStore()
+				if _, err := RunLineage(cfg, parent, steady, nil); err != nil {
+					t.Fatalf("%s: parent: %v", label, err)
+				}
+				before := CheckpointStoreStats()
+				got, err := RunLineage(cfg, child, steady, &Lineage{Diverge: d})
+				if err != nil {
+					t.Fatalf("%s: child: %v", label, err)
+				}
+				requireSameResult(t, label, got, want)
+				after := CheckpointStoreStats()
+				wantDepth := uint64(d - d%ckptInterval)
+				if gotHits := after.Hits - before.Hits; d >= ckptInterval && gotHits != 1 {
+					t.Fatalf("%s: %d checkpoint hits, want 1", label, gotHits)
+				} else if d < ckptInterval && gotHits != 0 {
+					t.Fatalf("%s: %d checkpoint hits for shallow divergence, want 0", label, gotHits)
+				}
+				if d >= ckptInterval && after.Hits == 1 && uint64(after.MeanResumeDepth) != wantDepth {
+					t.Fatalf("%s: resume depth %.0f, want %d", label, after.MeanResumeDepth, wantDepth)
+				}
+
+				// A hint overstating the shared prefix must be harmless: hits
+				// are content-verified, so the store can only resume from
+				// boundaries that genuinely match.
+				got2, err := RunLineage(cfg, child, steady, &Lineage{Diverge: len(child)})
+				if err != nil {
+					t.Fatalf("%s: overstated lineage: %v", label, err)
+				}
+				requireSameResult(t, label+" (overstated)", got2, want)
+
+				// And so must no hint at all (probe uncapped).
+				got3, err := RunLineage(cfg, child, steady, nil)
+				if err != nil {
+					t.Fatalf("%s: nil lineage: %v", label, err)
+				}
+				requireSameResult(t, label+" (nil hint)", got3, want)
+			}
+		}
+	}
+}
+
+// TestCheckpointStatsCounters pins the counter semantics the CLIs report:
+// a parent run misses and stores its boundaries, a resumed child hits, and
+// the mean resume depth reflects the instructions skipped.
+func TestCheckpointStatsCounters(t *testing.T) {
+	ckptTestEnv(t)
+	cfg := CortexA72()
+	pool := isa.ARM64Pool()
+	rng := rand.New(rand.NewSource(5))
+	parent := pool.RandomSequence(rng, 48)
+	if _, err := RunLineage(cfg, parent, 600, nil); err != nil {
+		t.Fatal(err)
+	}
+	cs := CheckpointStoreStats()
+	if cs.Misses != 1 || cs.Hits != 0 {
+		t.Fatalf("after parent: hits=%d misses=%d, want 0/1", cs.Hits, cs.Misses)
+	}
+	if cs.Stored != 3 || cs.Entries != 3 { // boundaries at 16, 32, 48
+		t.Fatalf("after parent: stored=%d entries=%d, want 3/3", cs.Stored, cs.Entries)
+	}
+	if cs.Cycles <= 0 {
+		t.Fatalf("after parent: %d cycles held", cs.Cycles)
+	}
+	child := childAt(rng, pool, parent, 37)
+	if _, err := RunLineage(cfg, child, 600, &Lineage{Diverge: 37}); err != nil {
+		t.Fatal(err)
+	}
+	cs = CheckpointStoreStats()
+	if cs.Hits != 1 {
+		t.Fatalf("after child: %d hits, want 1", cs.Hits)
+	}
+	if cs.MeanResumeDepth != 32 {
+		t.Fatalf("mean resume depth %.1f, want 32", cs.MeanResumeDepth)
+	}
+	// Re-running the parent hits its own deepest snapshot.
+	if _, err := RunLineage(cfg, parent, 600, nil); err != nil {
+		t.Fatal(err)
+	}
+	cs = CheckpointStoreStats()
+	if cs.Hits != 2 {
+		t.Fatalf("after parent rerun: %d hits, want 2", cs.Hits)
+	}
+}
+
+// TestCheckpointStoreEviction exercises the LRU budget directly: inserts
+// past ckptMaxCycles evict the oldest entries, never the newest, and
+// duplicate keys collapse.
+func TestCheckpointStoreEviction(t *testing.T) {
+	st := newCkptStore()
+	per := ckptMaxCycles / 4
+	for i := 0; i < 10; i++ {
+		st.store(&ckptEntry{key: uint64(i), depth: ckptInterval, cycles: per})
+	}
+	if st.cycles > ckptMaxCycles {
+		t.Fatalf("budget exceeded: %d cycles held > %d", st.cycles, ckptMaxCycles)
+	}
+	if st.evictions.Load() == 0 {
+		t.Fatal("no evictions past the budget")
+	}
+	if _, ok := st.entries[9]; !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := st.entries[0]; ok {
+		t.Fatal("oldest entry survived past the budget")
+	}
+	st.store(&ckptEntry{key: 9, depth: ckptInterval, cycles: per})
+	if st.stored.Load() != 10 {
+		t.Fatalf("stored=%d, want 10 (duplicate store is a no-op)", st.stored.Load())
+	}
+	n := 0
+	for e := st.head; e != nil; e = e.next {
+		n++
+	}
+	if n != len(st.entries) {
+		t.Fatalf("LRU list has %d nodes for %d entries", n, len(st.entries))
+	}
+}
+
+// TestCheckpointConcurrentResume runs many lineage-hinted children against
+// a shared warm store concurrently; every result must match its serial
+// reference (run under -race by the race target).
+func TestCheckpointConcurrentResume(t *testing.T) {
+	ckptTestEnv(t)
+	cfg := CortexA72()
+	pool := isa.ARM64Pool()
+	rng := rand.New(rand.NewSource(11))
+	parent := pool.RandomSequence(rng, 48)
+	const steady = 600
+	const nChildren = 16
+	children := make([][]isa.Inst, nChildren)
+	divs := make([]int, nChildren)
+	want := make([]*Result, nChildren)
+	for i := range children {
+		divs[i] = 1 + rng.Intn(len(parent))
+		children[i] = childAt(rng, pool, parent, divs[i])
+		want[i] = uncachedRun(t, cfg, children[i], steady)
+	}
+	if _, err := RunLineage(cfg, parent, steady, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, nChildren)
+	errs := make([]error, nChildren)
+	var wg sync.WaitGroup
+	for i := range children {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = RunLineage(cfg, children[i], steady, &Lineage{Diverge: divs[i]})
+		}(i)
+	}
+	wg.Wait()
+	for i := range children {
+		if errs[i] != nil {
+			t.Fatalf("child %d: %v", i, errs[i])
+		}
+		requireSameResult(t, fmt.Sprintf("concurrent child %d (d=%d)", i, divs[i]), got[i], want[i])
+	}
+}
+
+// TestSteadyExtrapolationBitIdentical pins that fast-forwarding an exactly
+// periodic steady state replicates what per-cycle simulation would have
+// produced, bit for bit — across cores, ISAs, sequence lengths and steady
+// windows — and that the fast path actually engages on GA-shaped runs.
+func TestSteadyExtrapolationBitIdentical(t *testing.T) {
+	ckptTestEnv(t)
+	SetCheckpointsEnabled(false)
+	pools := map[string]*isa.Pool{"arm64": isa.ARM64Pool(), "x86": isa.X86Pool()}
+	fired := false
+	for _, cfg := range []Config{CortexA72(), CortexA53(), AthlonII()} {
+		for pname, pool := range pools {
+			rng := rand.New(rand.NewSource(41))
+			for _, seqLen := range []int{2, 5, 17, 50} {
+				for _, steady := range []int{120, 700, 2500} {
+					label := fmt.Sprintf("%s/%s len=%d steady=%d", cfg.Name, pname, seqLen, steady)
+					seq := pool.RandomSequence(rng, seqLen)
+
+					prev := SetSteadyExtrapolationEnabled(false)
+					want := uncachedRun(t, cfg, seq, steady)
+					SetSteadyExtrapolationEnabled(true)
+					before := ExtrapolatedCycles()
+					got := uncachedRun(t, cfg, seq, steady)
+					if ExtrapolatedCycles() > before {
+						fired = true
+					}
+					SetSteadyExtrapolationEnabled(prev)
+					requireSameResult(t, label, got, want)
+				}
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("steady-state extrapolation never engaged")
+	}
+}
+
+// TestCheckpointDisabled pins that a lineage hint is inert while the store
+// is off: same results, untouched counters.
+func TestCheckpointDisabled(t *testing.T) {
+	ckptTestEnv(t)
+	SetCheckpointsEnabled(false)
+	cfg := CortexA53()
+	pool := isa.ARM64Pool()
+	rng := rand.New(rand.NewSource(17))
+	seq := pool.RandomSequence(rng, 40)
+	want := uncachedRun(t, cfg, seq, 500)
+	got, err := RunLineage(cfg, seq, 500, &Lineage{Diverge: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "checkpoints off", got, want)
+	cs := CheckpointStoreStats()
+	if cs.Hits != 0 || cs.Misses != 0 || cs.Stored != 0 {
+		t.Fatalf("disabled store touched: %+v", cs)
+	}
+}

@@ -163,6 +163,15 @@ const warmupIters = 8
 // minSteadyCycles of steady-state execution have elapsed after the warmup
 // iterations, finishing the iteration in flight.
 func Run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Result, error) {
+	return RunLineage(cfg, seq, minSteadyCycles, nil)
+}
+
+// RunLineage is Run with an optional lineage hint: when the caller knows
+// the sequence shares a prefix with a previously simulated one (a bred GA
+// child and its parent), the hint bounds how deep the checkpoint store
+// probes for a resumable snapshot. Results are bit-identical to Run for any
+// hint value, including nil.
+func RunLineage(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,9 +182,9 @@ func Run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Result, error) {
 		return nil, fmt.Errorf("uarch: minSteadyCycles = %d", minSteadyCycles)
 	}
 	if traceCacheOn.Load() {
-		return globalTraceCache.run(cfg, seq, minSteadyCycles)
+		return globalTraceCache.run(cfg, seq, minSteadyCycles, lin)
 	}
-	hist, err := newSim(&cfg, seq, simHint(minSteadyCycles)).run(minSteadyCycles)
+	hist, err := simulate(&cfg, seq, minSteadyCycles, lin)
 	if err != nil {
 		return nil, err
 	}
