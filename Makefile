@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: all build test tier1 race vet bench bench-all bench-compare chaos fmt
+.PHONY: all build test tier1 tier1-remote race vet bench bench-all bench-compare chaos fmt
 
 all: build test
 
@@ -12,10 +12,19 @@ build:
 test: build
 	$(GO) test ./...
 
-# The gate runs vet and forces fresh test execution (no cached results), so
-# a flaky or order-dependent test cannot hide behind the build cache.
-tier1: build vet
+# The gate runs fmt and vet and forces fresh test execution (no cached
+# results), so a flaky or order-dependent test cannot hide behind the
+# build cache.
+tier1: build fmt vet tier1-remote
 	GOFLAGS=-count=1 $(GO) test ./...
+
+# Local/remote backend equivalence: the lab protocol v2 suite and the
+# Backend interface tests, which drive every command's measurement path
+# against an in-process labtarget (including through the chaos proxy) and
+# require bit-identical output to a local bench.
+tier1-remote:
+	GOFLAGS=-count=1 $(GO) test -run 'Hello|Caps|V2|Chaos|Monitor|Stats|Equivalence|Capability|Determinism|FlagInventory' \
+		./internal/lab ./internal/backend ./internal/cli
 
 # Chaos: the remote-lab fault-injection suite (deterministic drop/delay/
 # garble proxy, reconnect-and-replay, pooled GA vs direct equivalence)
@@ -54,5 +63,6 @@ bench-compare:
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# Fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
-	gofmt -l .
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

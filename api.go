@@ -3,6 +3,7 @@ package emnoise
 import (
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/experiments"
@@ -258,6 +259,55 @@ var IsLabTargetError = lab.IsTargetError
 func NewChaosProxy(upstream string, cfg ChaosConfig) (*ChaosProxy, error) {
 	return chaos.New(upstream, cfg)
 }
+
+// Measurement backends: one interface over the local bench and the remote
+// lab, observationally equivalent bit for bit.
+type (
+	// MeasureBackend is the unified measurement surface every tool runs
+	// against: domain enumeration and control, EM measurement, measurer
+	// factories, capability flags, V_MIN campaigns.
+	MeasureBackend = backend.Backend
+	// LocalBackend adapts an in-process Bench to MeasureBackend.
+	LocalBackend = backend.Local
+	// RemoteBackend speaks the lab protocol to a labtarget daemon.
+	RemoteBackend = backend.Remote
+	// BackendCaps is a domain's capability record (cores, ISA, clock grid,
+	// voltage visibility, DSO kind, lineage support).
+	BackendCaps = backend.Caps
+	// BackendDomainState is a domain's current operating point.
+	BackendDomainState = backend.DomainState
+	// BackendMeasurerSpec selects a measurer (domain, metric, cores,
+	// averaging, DSO seed).
+	BackendMeasurerSpec = backend.MeasurerSpec
+	// BackendMetric names a fitness metric (em, droop, ptp).
+	BackendMetric = backend.Metric
+	// CapabilityError reports a metric requested on a domain whose
+	// instrumentation cannot provide it.
+	CapabilityError = backend.CapabilityError
+)
+
+// Fitness metrics.
+const (
+	MetricEM    = backend.MetricEM
+	MetricDroop = backend.MetricDroop
+	MetricPtp   = backend.MetricPtp
+)
+
+// NewLocalBackend wraps a bench as a MeasureBackend.
+func NewLocalBackend(b *Bench) (*LocalBackend, error) { return backend.NewLocal(b) }
+
+// NewRemoteBackend dials a labtarget daemon with a pool of `jobs`
+// sessions, negotiating the protocol version.
+func NewRemoteBackend(addr string, jobs int, opts LabOptions) (*RemoteBackend, error) {
+	return backend.NewRemote(addr, jobs, opts)
+}
+
+// IsCapabilityError reports whether err is a capability mismatch (for
+// example, the droop metric on a domain with no voltage visibility).
+var IsCapabilityError = backend.IsCapabilityError
+
+// ParseBackendMetric validates a metric name from the CLI.
+var ParseBackendMetric = backend.ParseMetric
 
 // Experiments: the paper's tables and figures.
 type (

@@ -12,66 +12,67 @@
 //
 //	characterize -platform juno -domain cortex-a72 -cores 2 -out a72.json
 //	characterize -platform amd -quick
+//	characterize -remote lab-host:9740 -quick
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
-	"repro/internal/em"
-
-	"repro/internal/core"
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/ga"
 	"repro/internal/platform"
 	"repro/internal/report"
-	"repro/internal/session"
-	"repro/internal/vmin"
 	"repro/internal/workload"
 )
 
 func main() {
+	app := cli.New("characterize", flag.CommandLine)
 	var (
-		plat    = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
-		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
-		cores   = flag.Int("cores", 0, "active cores (default: all powered)")
-		quick   = flag.Bool("quick", false, "reduced GA scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "write the session report JSON here (default stdout)")
-		bench   = flag.String("workloads", "idle,lbm,prime95", "benchmarks for the V_MIN comparison")
+		quick = flag.Bool("quick", false, "reduced GA scale")
+		out   = flag.String("out", "", "write the session report JSON here (default stdout)")
+		bench = flag.String("workloads", "idle,lbm,prime95", "benchmarks for the V_MIN comparison")
 	)
 	flag.Parse()
 
-	p, err := buildPlatform(*plat)
+	stopProf, err := app.StartProfiling()
 	if err != nil {
 		fatal(err)
 	}
-	name := *domName
-	if name == "" {
-		name = p.Domains()[0].Spec.Name
-	}
-	d, err := p.Domain(name)
-	if err != nil {
-		fatal(err)
-	}
-	active := *cores
-	if active == 0 {
-		active = d.PoweredCores()
-	}
-	b, err := core.NewBench(p, *seed)
-	if err != nil {
-		fatal(err)
-	}
+	defer stopProf()
+
 	if *quick {
-		b.Samples = 5
+		app.BenchSamples = 5
 	}
-	rep := session.New(p, d, time.Now())
+	be, err := app.Backend()
+	if err != nil {
+		fatal(err)
+	}
+	defer be.Close()
+	domain, err := app.Domain(be)
+	if err != nil {
+		fatal(err)
+	}
+	active, err := app.ActiveCores(be, domain)
+	if err != nil {
+		fatal(err)
+	}
+	caps, err := be.Caps(domain)
+	if err != nil {
+		fatal(err)
+	}
+	pool := caps.Pool()
+	rep, err := app.NewSession(be, domain, time.Now())
+	if err != nil {
+		fatal(err)
+	}
 
 	// 1. Resonance.
-	fmt.Fprintf(os.Stderr, "characterize: fast resonance sweep on %s/%s...\n", p.Name, d.Spec.Name)
-	sweep, err := b.FastResonanceSweep(d, active)
+	fmt.Fprintf(os.Stderr, "characterize: fast resonance sweep on %s/%s...\n", be.PlatformName(), domain)
+	sweep, err := be.ResonanceSweep(domain, active, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,25 +80,31 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  first-order resonance: %s\n", report.MHz(sweep.ResonanceHz))
 
 	// 2. Virus.
-	cfg := ga.DefaultConfig(d.Spec.Pool())
-	cfg.Seed = *seed
+	cfg := ga.DefaultConfig(pool)
+	cfg.Seed = *app.Seed
+	cfg.Parallelism = *app.Jobs
 	if *quick {
 		cfg.PopulationSize, cfg.Generations = 20, 15
 	}
 	fmt.Fprintf(os.Stderr, "characterize: evolving dI/dt virus (%dx%d)...\n",
 		cfg.PopulationSize, cfg.Generations)
-	virus, err := b.GenerateVirus(d, cfg, active, nil)
+	measurer, err := be.Measurer(backend.MeasurerSpec{
+		Domain: domain, Metric: backend.MetricEM, ActiveCores: active,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	rep.SetVirus(d.Spec.Pool(), virus)
+	virus, err := ga.Run(cfg, measurer, nil)
+	if err != nil {
+		fatal(err)
+	}
+	rep.SetVirus(pool, virus)
 	fmt.Fprintf(os.Stderr, "  virus dominant: %s (%s)\n",
 		report.MHz(virus.Best.DominantHz), report.DBm(virus.Best.Fitness))
 
 	// 3. V_MIN campaign.
-	tester := vmin.NewTester(d, *seed+1)
 	runVmin := func(label string, load platform.Load) {
-		res, err := tester.Search(load)
+		res, _, err := be.Vmin(domain, load, *app.Seed+1, 1)
 		if err != nil {
 			fatal(fmt.Errorf("vmin of %s: %w", label, err))
 		}
@@ -111,7 +118,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		seq, err := w.Build(d.Spec.Pool())
+		seq, err := w.Build(pool)
 		if err != nil {
 			fatal(err)
 		}
@@ -135,30 +142,7 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "characterize: report written to %s\n", *out)
 	}
-}
-
-func buildPlatform(name string) (*platform.Platform, error) {
-	switch name {
-	case "juno":
-		return platform.JunoR2()
-	case "amd":
-		return platform.AMDDesktop()
-	case "gpu":
-		return platform.GPUCard()
-	}
-	if strings.HasSuffix(name, ".json") {
-		f, err := os.Open(name)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		spec, err := platform.LoadSpecJSON(f)
-		if err != nil {
-			return nil, err
-		}
-		return platform.NewPlatform(spec.Name, em.DefaultLoopAntenna(), spec)
-	}
-	return nil, fmt.Errorf("unknown platform %q (want juno, amd, gpu or a .json spec)", name)
+	app.MaybePrintStats(be, domain)
 }
 
 func splitList(s string) []string {

@@ -20,72 +20,70 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/ga"
-	"repro/internal/instrument"
 	"repro/internal/isa"
-	"repro/internal/lab"
-	"repro/internal/par"
-	"repro/internal/platform"
-	"repro/internal/prof"
-	"repro/internal/session"
 )
 
 func main() {
+	app := cli.New("gahunt", flag.CommandLine)
 	var (
-		plat    = flag.String("platform", "juno", "platform: juno or amd")
-		domName = flag.String("domain", platform.DomainA72, "voltage domain to attack")
-		cores   = flag.Int("cores", 2, "active cores running the virus")
 		metric  = flag.String("metric", "em", "fitness: em, droop or ptp")
 		pop     = flag.Int("pop", 50, "population size")
 		gens    = flag.Int("gens", 60, "generations")
 		seqLen  = flag.Int("len", 50, "instructions per individual")
-		samples = flag.Int("samples", 30, "analyzer sweeps averaged per measurement")
-		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "write the winning virus as assembly to this file")
-		remote  = flag.String("remote", "", "labtarget address for remote measurement")
 		islands = flag.Int("islands", 1, "island-model populations (1 = classic single population)")
-		sess    = flag.String("session", "", "write a JSON session report to this file")
-		jobs    = flag.Int("j", runtime.NumCPU(), "parallel fitness evaluations (results are identical at any setting)")
-		verbose = flag.Bool("v", false, "print evaluation statistics (transport latency/retries when -remote, spectra/trace caches otherwise)")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprof, *memprof)
+	stopProf, err := app.StartProfiling()
 	if err != nil {
 		fatal(err)
 	}
 	defer stopProf()
 
-	p, err := buildPlatform(*plat)
+	m, err := backend.ParseMetric(*metric)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := p.Domain(*domName)
+	be, err := app.Backend()
 	if err != nil {
 		fatal(err)
 	}
-	pool := d.Spec.Pool()
+	defer be.Close()
+	domain, err := app.Domain(be)
+	if err != nil {
+		fatal(err)
+	}
+	caps, err := be.Caps(domain)
+	if err != nil {
+		fatal(err)
+	}
+	pool := caps.Pool()
 	cfg := ga.DefaultConfig(pool)
 	cfg.PopulationSize = *pop
 	cfg.Generations = *gens
 	cfg.SeqLen = *seqLen
-	cfg.Seed = *seed
-	cfg.Parallelism = *jobs
+	cfg.Seed = *app.Seed
+	cfg.Parallelism = *app.Jobs
 
-	measurer, cleanup, transportStats, err := buildMeasurer(p, d, *metric, *cores, *samples, *seed, *remote, par.Workers(*jobs))
+	measurer, err := be.Measurer(backend.MeasurerSpec{
+		Domain:      domain,
+		Metric:      m,
+		ActiveCores: *app.Cores,
+		Samples:     *app.Samples,
+		DSOSeed:     *app.Seed,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	defer cleanup()
 
 	fmt.Printf("gahunt: %s/%s, %d cores, metric=%s, %dx%d, %d island(s)\n",
-		p.Name, d.Spec.Name, *cores, *metric, *pop, *gens, *islands)
+		be.PlatformName(), domain, *app.Cores, *metric, *pop, *gens, *islands)
 	start := time.Now()
 	var res *ga.Result
 	if *islands > 1 {
@@ -110,28 +108,16 @@ func main() {
 	}
 	fmt.Printf("done in %v: best fitness %.2f, dominant %.2f MHz\n",
 		time.Since(start).Round(time.Millisecond), res.Best.Fitness, res.Best.DominantHz/1e6)
-	if *verbose {
-		if transportStats != nil {
-			fmt.Println(transportStats())
-		} else {
-			fmt.Println(d.EvalStats())
-		}
-	}
-	if *sess != "" {
-		rep := session.New(p, d, time.Now())
-		rep.SetVirus(pool, res)
-		f, err := os.Create(*sess)
+	app.MaybePrintStats(be, domain)
+	if *app.Session != "" {
+		rep, err := app.NewSession(be, domain, time.Now())
 		if err != nil {
 			fatal(err)
 		}
-		if err := rep.Save(f); err != nil {
-			f.Close()
+		rep.SetVirus(pool, res)
+		if err := app.SaveSession(rep); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("session report written to %s\n", *sess)
 	}
 	text := isa.FormatProgram(pool, res.Best.Seq)
 	if *out != "" {
@@ -142,57 +128,6 @@ func main() {
 	} else {
 		fmt.Println(text)
 	}
-}
-
-func buildPlatform(name string) (*platform.Platform, error) {
-	switch name {
-	case "juno":
-		return platform.JunoR2()
-	case "amd":
-		return platform.AMDDesktop()
-	default:
-		return nil, fmt.Errorf("unknown platform %q (want juno or amd)", name)
-	}
-}
-
-// buildMeasurer wires the fitness source. With -remote it dials a pool of
-// `jobs` resilient lab clients so the GA's parallel workers each own a
-// session (see internal/lab); the returned stats closure renders the
-// transport counters for -v.
-func buildMeasurer(p *platform.Platform, d *platform.Domain, metric string,
-	cores, samples int, seed int64, remote string, jobs int) (ga.Measurer, func(), func() string, error) {
-	if remote != "" {
-		pool, err := lab.NewPool(remote, jobs, lab.Options{})
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return pool.Measurer(d.Spec.Name, cores, samples, d.Spec.Pool()),
-			func() { pool.Close() },
-			func() string { return pool.Stats().String() }, nil
-	}
-	bench, err := core.NewBench(p, seed)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	bench.Samples = samples
-	noop := func() {}
-	switch metric {
-	case "em":
-		return bench.EMMeasurer(d, cores), noop, nil, nil
-	case "droop":
-		return bench.DroopMeasurer(d, cores, scopeFor(d, seed)), noop, nil, nil
-	case "ptp":
-		return bench.PtpMeasurer(d, cores, scopeFor(d, seed)), noop, nil, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown metric %q (want em, droop or ptp)", metric)
-	}
-}
-
-func scopeFor(d *platform.Domain, seed int64) *instrument.DSO {
-	if d.Spec.VoltageVisibility == "kelvin-pads" {
-		return instrument.NewBenchScope(seed)
-	}
-	return instrument.NewOCDSO(seed)
 }
 
 func fatal(err error) {

@@ -21,31 +21,24 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/lab"
-	"repro/internal/platform"
 )
 
 func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:9740", "address to listen on")
-		plat   = flag.String("platform", "juno", "platform: juno or amd")
+		plat   = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
 		seed   = flag.Int64("seed", 1, "random seed for the bench instruments")
+		jobs   = flag.Int("j", runtime.NumCPU(), "bench parallelism for server-side sweeps and V_MIN campaigns")
 	)
 	flag.Parse()
 
-	var p *platform.Platform
-	var err error
-	switch *plat {
-	case "juno":
-		p, err = platform.JunoR2()
-	case "amd":
-		p, err = platform.AMDDesktop()
-	default:
-		err = fmt.Errorf("unknown platform %q", *plat)
-	}
+	p, err := cli.BuildPlatform(*plat)
 	if err != nil {
 		fatal(err)
 	}
@@ -53,6 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	bench.Parallelism = *jobs
 	srv, err := lab.NewServer(bench)
 	if err != nil {
 		fatal(err)

@@ -5,11 +5,15 @@
 //	repro -list
 //	repro -exp fig7 [-quick] [-seed N]
 //	repro -exp all  [-quick] [-seed N]
+//	repro -exp fig11 -remote juno-rig:9740,amd-rig:9741
 //
 // Each experiment prints its report (series and tables) followed by its
 // headline values. Without -quick the paper-scale settings are used
 // (50x60 GA runs, 30 V_MIN repetitions), which takes a few minutes for the
-// full suite.
+// full suite. With -remote the measurement-driven experiments run against
+// labtarget daemons (comma-separated addresses, matched to platforms by
+// the daemons' own identity); daemons seeded seed+1 (juno) and seed+2
+// (amd) reproduce the local bytes exactly.
 package main
 
 import (
@@ -17,22 +21,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
+	app := cli.New("repro", flag.CommandLine)
 	var (
 		exp   = flag.String("exp", "", "experiment id (fig1b..fig18, tab1, tab2, ext-*), \"all\", \"ext\" or \"everything\"")
 		quick = flag.Bool("quick", false, "reduced GA/repetition scale (seconds instead of minutes)")
-		seed  = flag.Int64("seed", 7, "random seed for all stochastic components")
 		list  = flag.Bool("list", false, "list available experiments")
 		out   = flag.String("out", "", "also write per-experiment reports and a summary.md into this directory")
-		jobs  = flag.Int("j", runtime.NumCPU(), "parallel GA/sweep evaluations (results are identical at any setting)")
 	)
 	flag.Parse()
+
+	stopProf, err := app.StartProfiling()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -47,7 +57,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro: pass -exp <id|all> or -list")
 		os.Exit(2)
 	}
-	ctx, err := experiments.NewContext(experiments.Options{Quick: *quick, Seed: *seed, Parallelism: *jobs})
+	opts := experiments.Options{Quick: *quick, Seed: *app.Seed, Parallelism: *app.Jobs}
+	if *app.Remote != "" {
+		backends, closeAll, err := cli.RemoteBackends(*app.Remote, *app.Jobs)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeAll()
+		opts.Backends = backends
+		if *app.Verbose {
+			defer func() {
+				for name, be := range backends {
+					if r, ok := be.(*backend.Remote); ok {
+						fmt.Printf("%s: %s\n", name, r.TransportStats().String())
+					}
+				}
+			}()
+		}
+	}
+	ctx, err := experiments.NewContext(opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -8,76 +8,54 @@
 //	sweep -platform juno -domain cortex-a72 -powered 2 -active 2
 //	sweep -platform juno -domain cortex-a53 -powered 1 -active 1
 //	sweep -platform amd
+//	sweep -remote lab-host:9740 -active 2
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/prof"
+	"repro/internal/cli"
 	"repro/internal/report"
 )
 
 func main() {
+	app := cli.New("sweep", flag.CommandLine)
 	var (
-		plat    = flag.String("platform", "juno", "platform: juno or amd")
-		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
 		powered = flag.Int("powered", 0, "powered cores (default: all)")
 		active  = flag.Int("active", 1, "cores running the probe loop")
-		seed    = flag.Int64("seed", 1, "random seed")
-		samples = flag.Int("samples", 30, "analyzer sweeps averaged per point")
-		jobs    = flag.Int("j", runtime.NumCPU(), "parallel sweep points (results are identical at any setting)")
-		verbose = flag.Bool("v", false, "print cache statistics after the sweep")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprof, *memprof)
+	stopProf, err := app.StartProfiling()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	defer stopProf()
 
-	var p *platform.Platform
-	switch *plat {
-	case "juno":
-		p, err = platform.JunoR2()
-	case "amd":
-		p, err = platform.AMDDesktop()
-	default:
-		err = fmt.Errorf("unknown platform %q", *plat)
-	}
+	be, err := app.Backend()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-	name := *domName
-	if name == "" {
-		name = p.Domains()[0].Spec.Name
-	}
-	d, err := p.Domain(name)
+	defer be.Close()
+	domain, err := app.Domain(be)
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	if *powered > 0 {
-		if err := d.SetPoweredCores(*powered); err != nil {
-			fatal(err)
+		if err := be.SetPoweredCores(domain, *powered); err != nil {
+			app.Fatal(err)
 		}
 	}
-	bench, err := core.NewBench(p, *seed)
+	st, err := be.State(domain)
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-	bench.Samples = *samples
-	bench.Parallelism = *jobs
 
-	res, err := bench.FastResonanceSweep(d, *active)
+	res, err := be.ResonanceSweep(domain, *active, 0)
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	xs := make([]float64, len(res.Points))
 	ys := make([]float64, len(res.Points))
@@ -87,16 +65,19 @@ func main() {
 	}
 	fmt.Print(report.Series(
 		fmt.Sprintf("Fast EM sweep: %s/%s, %d powered / %d active cores",
-			p.Name, d.Spec.Name, d.PoweredCores(), *active),
+			be.PlatformName(), domain, st.PoweredCores, *active),
 		"loop freq (MHz)", "peak (dBm)", xs, ys))
 	fmt.Printf("\nfirst-order resonance estimate: %s (peak %s)\n",
 		report.MHz(res.ResonanceHz), report.DBm(res.PeakDBm))
-	if *verbose {
-		fmt.Println(d.EvalStats())
+	if *app.Session != "" {
+		rep, err := app.NewSession(be, domain, time.Now())
+		if err != nil {
+			app.Fatal(err)
+		}
+		rep.SetSweep(res)
+		if err := app.SaveSession(rep); err != nil {
+			app.Fatal(err)
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	app.MaybePrintStats(be, domain)
 }

@@ -7,67 +7,54 @@
 //
 //	vmin -platform juno -domain cortex-a72 -cores 2 -workloads idle,lbm,probe
 //	vmin -platform amd -workloads all -repeats 5
+//	vmin -remote lab-host:9740 -workloads probe
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/platform"
-	"repro/internal/prof"
 	"repro/internal/report"
-	"repro/internal/vmin"
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
 func main() {
+	app := cli.New("vmin", flag.CommandLine)
 	var (
-		plat    = flag.String("platform", "juno", "platform: juno or amd")
-		domName = flag.String("domain", "", "voltage domain (defaults to the platform's first)")
-		cores   = flag.Int("cores", 0, "active cores (default: all powered)")
 		names   = flag.String("workloads", "idle,lbm,probe", "comma-separated workloads, or \"all\"")
 		repeats = flag.Int("repeats", 1, "repetitions per workload (paper uses 30 for viruses)")
-		seed    = flag.Int64("seed", 1, "random seed")
 		shmoo   = flag.Bool("shmoo", false, "sweep the clock and report Vmin per frequency instead")
-		jobs    = flag.Int("j", runtime.NumCPU(), "parallel shmoo points (results are identical at any setting)")
-		verbose = flag.Bool("v", false, "print cache statistics after the run")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprof, *memprof)
+	stopProf, err := app.StartProfiling()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	defer stopProf()
 
-	var p *platform.Platform
-	switch *plat {
-	case "juno":
-		p, err = platform.JunoR2()
-	case "amd":
-		p, err = platform.AMDDesktop()
-	default:
-		err = fmt.Errorf("unknown platform %q", *plat)
-	}
+	be, err := app.Backend()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-	name := *domName
-	if name == "" {
-		name = p.Domains()[0].Spec.Name
-	}
-	d, err := p.Domain(name)
+	defer be.Close()
+	domain, err := app.Domain(be)
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-	active := *cores
-	if active == 0 {
-		active = d.PoweredCores()
+	active, err := app.ActiveCores(be, domain)
+	if err != nil {
+		app.Fatal(err)
+	}
+	caps, err := be.Caps(domain)
+	if err != nil {
+		app.Fatal(err)
 	}
 	var list []string
 	if *names == "all" {
@@ -78,44 +65,53 @@ func main() {
 		list = strings.Split(*names, ",")
 	}
 
-	tester := vmin.NewTester(d, *seed)
-	tester.Parallelism = *jobs
 	if *shmoo {
-		runShmoo(tester, p, d, list, active)
-		if *verbose {
-			fmt.Println(d.EvalStats())
-		}
+		runShmoo(app, be, caps, domain, list, active)
+		app.MaybePrintStats(be, domain)
 		return
 	}
+	var rep *session.Report
+	if *app.Session != "" {
+		rep, err = app.NewSession(be, domain, time.Now())
+		if err != nil {
+			app.Fatal(err)
+		}
+	}
 	tb := report.NewTable(
-		fmt.Sprintf("V_MIN on %s/%s (%d active cores, %d repeats)", p.Name, d.Spec.Name, active, *repeats),
+		fmt.Sprintf("V_MIN on %s/%s (%d active cores, %d repeats)", be.PlatformName(), domain, active, *repeats),
 		"workload", "Vmin", "margin", "droop@nominal", "first failure")
 	for _, wn := range list {
 		w, err := workload.ByName(strings.TrimSpace(wn))
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
-		seq, err := w.Build(d.Spec.Pool())
+		seq, err := w.Build(caps.Pool())
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
-		res, _, err := tester.Repeat(platform.Load{Seq: seq, ActiveCores: active}, *repeats)
+		res, _, err := be.Vmin(domain, platform.Load{Seq: seq, ActiveCores: active}, *app.Seed, *repeats)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", w.Name, err))
+			app.Fatal(fmt.Errorf("%s: %w", w.Name, err))
 		}
 		tb.AddRow(w.Name, report.Volts(res.VminV), report.MV(res.MarginV),
 			report.MV(res.DroopNominalV), res.Outcome.String())
+		if rep != nil {
+			rep.AddVmin(w.Name, res)
+		}
 	}
 	fmt.Print(tb.String())
-	if *verbose {
-		fmt.Println(d.EvalStats())
+	if rep != nil {
+		if err := app.SaveSession(rep); err != nil {
+			app.Fatal(err)
+		}
 	}
+	app.MaybePrintStats(be, domain)
 }
 
 // runShmoo prints a Vmin-vs-frequency curve per workload.
-func runShmoo(tester *vmin.Tester, p *platform.Platform, d *platform.Domain, list []string, active int) {
+func runShmoo(app *cli.App, be backend.Backend, caps backend.Caps, domain string, list []string, active int) {
 	var clocks []float64
-	steps := d.ClockSteps()
+	steps := caps.ClockSteps()
 	// Sample ~8 clocks from max downward.
 	stride := len(steps) / 8
 	if stride < 1 {
@@ -127,17 +123,17 @@ func runShmoo(tester *vmin.Tester, p *platform.Platform, d *platform.Domain, lis
 	for _, wn := range list {
 		w, err := workload.ByName(strings.TrimSpace(wn))
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
-		seq, err := w.Build(d.Spec.Pool())
+		seq, err := w.Build(caps.Pool())
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
-		points, err := tester.Shmoo(platform.Load{Seq: seq, ActiveCores: active}, clocks)
+		points, err := be.VminShmoo(domain, platform.Load{Seq: seq, ActiveCores: active}, *app.Seed, clocks)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", w.Name, err))
+			app.Fatal(fmt.Errorf("%s: %w", w.Name, err))
 		}
-		tb := report.NewTable(fmt.Sprintf("Shmoo: %s on %s/%s", w.Name, p.Name, d.Spec.Name),
+		tb := report.NewTable(fmt.Sprintf("Shmoo: %s on %s/%s", w.Name, be.PlatformName(), domain),
 			"clock", "Vmin", "margin")
 		for _, pt := range points {
 			tb.AddRow(report.MHz(pt.ClockHz), report.Volts(pt.VminV), report.MV(pt.MarginV))
@@ -145,9 +141,4 @@ func runShmoo(tester *vmin.Tester, p *platform.Platform, d *platform.Domain, lis
 		fmt.Print(tb.String())
 		fmt.Println()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vmin:", err)
-	os.Exit(1)
 }

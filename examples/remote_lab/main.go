@@ -5,12 +5,14 @@
 // the protocol is the same one `cmd/labtarget` serves, so the workstation
 // half works unchanged against a remote daemon.
 //
-// To show the transport earning its keep, the workstation talks to the
-// daemon through a deterministic fault-injection proxy that drops
+// The workstation side talks only through the MeasureBackend interface —
+// the same one every command uses — so the identical campaign also runs on
+// a LocalBackend, and this example does exactly that to show the two are
+// bit-identical. To show the transport earning its keep, the remote half
+// goes through a deterministic fault-injection proxy that drops
 // connections mid-command, delays replies past the client's deadline and
-// garbles reply lines — and the GA still finishes, in parallel, with the
-// exact result a fault-free serial run produces (measurements are
-// content-deterministic, so retries cannot change them).
+// garbles reply lines (measurements are content-deterministic, so retries
+// cannot change them).
 //
 //	go run ./examples/remote_lab
 package main
@@ -25,7 +27,8 @@ import (
 )
 
 func main() {
-	// Target machine side: the platform under test plus the instruments.
+	// Target machine side: the platform under test plus the instruments,
+	// served as a lab daemon.
 	plat, err := emnoise.JunoR2()
 	if err != nil {
 		log.Fatal(err)
@@ -34,6 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	bench.Samples = 5
 	srv, err := emnoise.NewLabServer(bench)
 	if err != nil {
 		log.Fatal(err)
@@ -45,6 +49,23 @@ func main() {
 	defer ln.Close()
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("labtarget serving on %s\n", ln.Addr())
+
+	// A reference rig — same platform, same seed — driven locally through
+	// the same interface, to prove the remote bytes.
+	refPlat, err := emnoise.JunoR2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	refBench, err := emnoise.NewBench(refPlat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refBench.Samples = 5
+	refBench.Parallelism = 8
+	local, err := emnoise.NewLocalBackend(refBench)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A flaky network between workstation and target: seeded faults on the
 	// reply path — dropped connections, delayed and corrupted replies.
@@ -61,9 +82,9 @@ func main() {
 	defer proxy.Close()
 	fmt.Printf("chaos proxy (drops, delays, garbles) on %s\n", proxy.Addr())
 
-	// Workstation side: everything below talks only through the proxied
-	// socket. A single resilient client first...
-	client, err := emnoise.DialLabOptions(proxy.Addr(), emnoise.LabOptions{
+	// Workstation side: one remote backend over the proxied socket, backed
+	// by a pool of 8 sessions (sweep -remote ADDR -j 8 builds exactly this).
+	remote, err := emnoise.NewRemoteBackend(proxy.Addr(), 8, emnoise.LabOptions{
 		IOTimeout:   200 * time.Millisecond,
 		MaxAttempts: 8,
 		BackoffBase: 5 * time.Millisecond,
@@ -71,67 +92,87 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
+	defer remote.Close()
+	remote.Samples = 5
 
-	name, domains, err := client.Info()
+	fmt.Printf("connected to %s (protocol v%d, domains %v)\n",
+		remote.PlatformName(), remote.ProtocolVersion(), remote.Domains())
+
+	// Capability negotiation: the daemon advertises what each domain can
+	// measure, so impossible requests fail up front with a typed error
+	// instead of mid-campaign.
+	caps, err := remote.Caps(emnoise.DomainA72)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("connected to %s (domains: %v)\n", name, domains)
-
-	// Remote fast sweep.
-	resHz, peak, points, err := client.Sweep(emnoise.DomainA72, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("remote sweep: resonance %.1f MHz (peak %.1f dBm, %d points)\n",
-		resHz/1e6, peak, points)
-
-	// ...then a pool of 8 sessions for the GA: each parallel fitness
-	// evaluation checks a client out and ships its individual over the
-	// wire (gahunt -remote -j 8 does exactly this).
-	pool, err := emnoise.NewLabPool(proxy.Addr(), 8, emnoise.LabOptions{
-		IOTimeout:   200 * time.Millisecond,
-		MaxAttempts: 8,
-		BackoffBase: 5 * time.Millisecond,
+	fmt.Printf("%s: %d cores, voltage visibility %q\n",
+		emnoise.DomainA72, caps.TotalCores, caps.VoltageVisibility)
+	_, err = remote.Measurer(emnoise.BackendMeasurerSpec{
+		Domain: emnoise.DomainA53, Metric: emnoise.MetricDroop, ActiveCores: 4,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer pool.Close()
+	fmt.Printf("droop on the voltage-blind A53 refused up front (typed: %v): %v\n",
+		emnoise.IsCapabilityError(err), err)
 
-	a72, err := plat.Domain(emnoise.DomainA72)
+	// Remote fast sweep vs the local reference.
+	rsw, err := remote.ResonanceSweep(emnoise.DomainA72, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ipool := a72.Spec.Pool()
-	cfg := emnoise.DefaultGAConfig(ipool)
+	lsw, err := local.ResonanceSweep(emnoise.DomainA72, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote sweep: resonance %.1f MHz (peak %.1f dBm) — matches local: %v\n",
+		rsw.ResonanceHz/1e6, rsw.PeakDBm, rsw.ResonanceHz == lsw.ResonanceHz && rsw.PeakDBm == lsw.PeakDBm)
+
+	// The GA through the backend's measurer factory: each parallel fitness
+	// evaluation checks a session out of the pool and ships its individual
+	// over the wire.
+	cfg := emnoise.DefaultGAConfig(caps.Pool())
 	cfg.PopulationSize = 16
 	cfg.Generations = 8
 	cfg.Parallelism = 8
-	measurer := pool.Measurer(emnoise.DomainA72, 2, 5, ipool)
-	res, err := emnoise.RunGA(cfg, measurer, func(s emnoise.GAStats) {
+	spec := emnoise.BackendMeasurerSpec{
+		Domain: emnoise.DomainA72, Metric: emnoise.MetricEM, ActiveCores: 2, Samples: 5,
+	}
+	rm, err := remote.Measurer(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := emnoise.RunGA(cfg, rm, func(s emnoise.GAStats) {
 		fmt.Printf("gen %d: best %.2f dBm @ %.1f MHz\n",
 			s.Gen, s.BestFitness, s.BestDominant/1e6)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Remote V_MIN of the evolved virus.
-	if err := client.Load(emnoise.DomainA72, 2, ipool, res.Best.Seq); err != nil {
-		log.Fatal(err)
-	}
-	vres, err := client.Vmin(3)
+	lm, err := local.Measurer(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("virus V_MIN (remote, worst of 3): %.3f V, margin %.0f mV (%s)\n",
-		vres.VminV, vres.MarginV*1e3, vres.Outcome)
+	lres, err := emnoise.RunGA(cfg, lm, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote GA best %.2f dBm — matches local: %v\n",
+		res.Best.Fitness, res.Best.Fitness == lres.Best.Fitness)
+
+	// V_MIN of the evolved virus, worst of 3, on both backends.
+	load := emnoise.Load{Seq: res.Best.Seq, ActiveCores: 2}
+	vres, _, err := remote.Vmin(emnoise.DomainA72, load, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lvres, _, err := local.Vmin(emnoise.DomainA72, load, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virus V_MIN (remote, worst of 3): %.3f V, margin %.0f mV (%s) — matches local: %v\n",
+		vres.VminV, vres.MarginV*1e3, vres.Outcome, vres.VminV == lvres.VminV)
 
 	// What the transport absorbed along the way.
 	cs := proxy.Stats()
 	fmt.Printf("chaos injected: %d drops, %d delays, %d garbles over %d connection(s)\n",
 		cs.Drops, cs.Delays, cs.Garbles, cs.Conns)
-	fmt.Println(pool.Stats().String())
+	fmt.Println(remote.TransportStats().String())
 }

@@ -137,7 +137,14 @@ type (
 
 // NewSessionReport starts a report for a domain's current state.
 func NewSessionReport(p *Platform, d *Domain, now time.Time) *SessionReport {
-	return session.New(p, d, now)
+	return session.NewLocal(p, d, now)
+}
+
+// NewSessionReportFor starts a report through any measurement backend
+// (local or remote), capturing the domain's operating point as the
+// backend observes it.
+func NewSessionReportFor(be MeasureBackend, domain string, now time.Time) (*SessionReport, error) {
+	return session.New(be, domain, now)
 }
 
 // LoadSessionReport parses a stored report.

@@ -1,0 +1,369 @@
+package backend_test
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/lab"
+	"repro/internal/platform"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// newBench builds the reference bench: Juno, seed 1, 3-sample averaging.
+// The in-process daemon and the local backend both use one of these, so
+// every comparison below is against the same instrument state.
+func newBench(t *testing.T) *core.Bench {
+	t.Helper()
+	p, err := platform.JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewBench(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Samples = 3
+	return b
+}
+
+// startDaemon serves a reference bench on a loopback port.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := lab.NewServer(newBench(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { _ = srv.Shutdown() })
+	return ln.Addr().String()
+}
+
+func fastOpts() lab.Options {
+	return lab.Options{
+		DialTimeout: 2 * time.Second,
+		IOTimeout:   500 * time.Millisecond,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+func backends(t *testing.T, jobs int) (*backend.Local, *backend.Remote) {
+	t.Helper()
+	lb := newBench(t)
+	lb.Parallelism = jobs
+	local, err := backend.NewLocal(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := backend.NewRemote(startDaemon(t), jobs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote.Samples = lb.Samples
+	t.Cleanup(func() { _ = remote.Close() })
+	return local, remote
+}
+
+func probeLoad(t *testing.T, be backend.Backend, domain string, cores int) platform.Load {
+	t.Helper()
+	caps, err := be.Caps(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := workload.Probe().Build(caps.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.Load{Seq: seq, ActiveCores: cores}
+}
+
+// TestLocalRemoteEquivalence drives the whole Backend surface against a
+// Local and a Remote built from identical benches and requires
+// bit-identical answers: identity, capabilities, state, EM measurement,
+// sweeps, V_MIN campaigns, shmoos, multi-domain monitoring and the
+// evaluation counters.
+func TestLocalRemoteEquivalence(t *testing.T) {
+	local, remote := backends(t, 4)
+
+	if remote.ProtocolVersion() != lab.ProtocolVersion {
+		t.Fatalf("negotiated v%d, want v%d", remote.ProtocolVersion(), lab.ProtocolVersion)
+	}
+	if local.PlatformName() != remote.PlatformName() {
+		t.Fatalf("platform %q != %q", local.PlatformName(), remote.PlatformName())
+	}
+	if !reflect.DeepEqual(local.Domains(), remote.Domains()) {
+		t.Fatalf("domains %v != %v", local.Domains(), remote.Domains())
+	}
+	for _, dom := range local.Domains() {
+		lc, err := local.Caps(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := remote.Caps(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lineage is the one deliberate difference: GA checkpoints cannot
+		// cross the wire.
+		if !lc.Lineage || rc.Lineage {
+			t.Fatalf("%s lineage: local %v remote %v", dom, lc.Lineage, rc.Lineage)
+		}
+		lc.Lineage, rc.Lineage = false, false
+		if lc != rc {
+			t.Fatalf("%s caps diverge:\nlocal  %+v\nremote %+v", dom, lc, rc)
+		}
+		if !reflect.DeepEqual(lc.ClockSteps(), rc.ClockSteps()) {
+			t.Fatalf("%s clock grids diverge", dom)
+		}
+		ls, err := local.State(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := remote.State(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls != rs {
+			t.Fatalf("%s state: local %+v remote %+v", dom, ls, rs)
+		}
+	}
+
+	// Setpoints propagate identically.
+	for _, be := range []backend.Backend{local, remote} {
+		if err := be.SetClock(platform.DomainA72, 600e6); err != nil {
+			t.Fatal(err)
+		}
+		if err := be.SetPoweredCores(platform.DomainA53, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls, _ := local.State(platform.DomainA53)
+	rs, _ := remote.State(platform.DomainA53)
+	if ls != rs || ls.PoweredCores != 2 {
+		t.Fatalf("post-setpoint state: local %+v remote %+v", ls, rs)
+	}
+	for _, be := range []backend.Backend{local, remote} {
+		if err := be.Reset(platform.DomainA72); err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Reset(platform.DomainA53); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	load := probeLoad(t, local, platform.DomainA72, 2)
+
+	lm, err := local.EMMeasureN(platform.DomainA72, load, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := remote.EMMeasureN(platform.DomainA72, load, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lm, rm) {
+		t.Fatalf("EM measurement: local %+v remote %+v", lm, rm)
+	}
+
+	lsw, err := local.ResonanceSweep(platform.DomainA72, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsw, err := remote.ResonanceSweep(platform.DomainA72, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lsw, rsw) {
+		t.Fatal("resonance sweeps diverge")
+	}
+
+	lv, lruns, err := local.Vmin(platform.DomainA72, load, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, rruns, err := remote.Vmin(platform.DomainA72, load, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.VminV != rv.VminV || lv.MarginV != rv.MarginV ||
+		lv.DroopNominalV != rv.DroopNominalV || lv.Outcome != rv.Outcome {
+		t.Fatalf("vmin: local %+v remote %+v", lv, rv)
+	}
+	if !reflect.DeepEqual(lruns, rruns) {
+		t.Fatalf("vmin runs: local %v remote %v", lruns, rruns)
+	}
+
+	caps, _ := local.Caps(platform.DomainA72)
+	steps := caps.ClockSteps()
+	clocks := []float64{steps[len(steps)-1], steps[0]}
+	lsh, err := local.VminShmoo(platform.DomainA72, load, 9, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsh, err := remote.VminShmoo(platform.DomainA72, load, 9, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lsh, rsh) {
+		t.Fatal("shmoos diverge")
+	}
+
+	a53 := probeLoad(t, local, platform.DomainA53, 4)
+	loads := map[string]platform.Load{
+		platform.DomainA72: load,
+		platform.DomainA53: a53,
+	}
+	lmon, err := local.MonitorAll(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmon, err := remote.MonitorAll(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lmon, rmon) {
+		t.Fatal("monitor spectra diverge")
+	}
+
+	// The daemon ran the same operations the local bench did (in this
+	// order), so the per-domain counters agree too.
+	lstats, err := local.EvalStats(platform.DomainA53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats, err := remote.EvalStats(platform.DomainA53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lstats != rstats {
+		t.Fatalf("eval stats diverge:\nlocal:\n%s\nremote:\n%s", lstats, rstats)
+	}
+}
+
+// TestMeasurerEquivalence runs a small GA under every metric through both
+// backends: em on the voltage-blind A53 (the paper's whole point) and
+// droop/ptp on the OC-DSO A72. Histories must match generation by
+// generation.
+func TestMeasurerEquivalence(t *testing.T) {
+	local, remote := backends(t, 8)
+	cases := []struct {
+		name   string
+		spec   backend.MeasurerSpec
+		seqLen int
+	}{
+		{"em-a53", backend.MeasurerSpec{Domain: platform.DomainA53, Metric: backend.MetricEM, ActiveCores: 4, Samples: 3}, 12},
+		{"droop-a72", backend.MeasurerSpec{Domain: platform.DomainA72, Metric: backend.MetricDroop, ActiveCores: 2, Samples: 3, DSOSeed: 5}, 12},
+		{"ptp-a72", backend.MeasurerSpec{Domain: platform.DomainA72, Metric: backend.MetricPtp, ActiveCores: 2, Samples: 3, DSOSeed: 5}, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			caps, err := local.Caps(tc.spec.Domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ga.DefaultConfig(caps.Pool())
+			cfg.PopulationSize = 6
+			cfg.Generations = 3
+			cfg.SeqLen = tc.seqLen
+			cfg.Parallelism = 8
+
+			lmes, err := local.Measurer(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rmes, err := remote.Measurer(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lres, err := ga.Run(cfg, lmes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rres, err := ga.Run(cfg, rmes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lres.Best.Fitness != rres.Best.Fitness || !reflect.DeepEqual(lres.History, rres.History) {
+				t.Fatalf("%s GA diverged: local best %v remote best %v",
+					tc.name, lres.Best.Fitness, rres.Best.Fitness)
+			}
+		})
+	}
+}
+
+// TestCapabilityError: droop on the voltage-blind A53 must fail with the
+// typed error on both backends, before any measurement is attempted.
+func TestCapabilityError(t *testing.T) {
+	local, remote := backends(t, 1)
+	for _, tc := range []struct {
+		name string
+		be   backend.Backend
+	}{{"local", local}, {"remote", remote}} {
+		spec := backend.MeasurerSpec{Domain: platform.DomainA53, Metric: backend.MetricDroop, ActiveCores: 4}
+		_, err := tc.be.Measurer(spec)
+		if err == nil {
+			t.Fatalf("%s: droop on a voltage-blind domain succeeded", tc.name)
+		}
+		if !backend.IsCapabilityError(err) {
+			t.Fatalf("%s: error not a *CapabilityError: %v", tc.name, err)
+		}
+	}
+}
+
+// sessionBytes runs the report flow every CLI shares — capture state,
+// record a sweep and a V_MIN row — and serializes it with a pinned
+// timestamp.
+func sessionBytes(t *testing.T, be backend.Backend) []byte {
+	t.Helper()
+	rep, err := session.New(be, platform.DomainA72, time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := be.ResonanceSweep(platform.DomainA72, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SetSweep(sw)
+	res, _, err := be.Vmin(platform.DomainA72, probeLoad(t, be, platform.DomainA72, 2), 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.AddVmin("probe", res)
+	var buf bytes.Buffer
+	if err := rep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSessionReportDeterminism is the satellite acceptance test: the same
+// seed and workload must yield byte-identical session.Report JSON from a
+// local backend and a remote one, at parallelism 1 and 8.
+func TestSessionReportDeterminism(t *testing.T) {
+	var reference []byte
+	for _, jobs := range []int{1, 8} {
+		local, remote := backends(t, jobs)
+		lb := sessionBytes(t, local)
+		rb := sessionBytes(t, remote)
+		if !bytes.Equal(lb, rb) {
+			t.Fatalf("-j %d: local and remote reports differ:\n%s\n---\n%s", jobs, lb, rb)
+		}
+		if reference == nil {
+			reference = lb
+		} else if !bytes.Equal(reference, lb) {
+			t.Fatalf("-j %d report differs from -j 1 report", jobs)
+		}
+	}
+}

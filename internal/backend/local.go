@@ -1,0 +1,244 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/instrument"
+	"repro/internal/platform"
+	"repro/internal/vmin"
+)
+
+// Local adapts an in-process core.Bench to the Backend interface. It adds
+// no behavior of its own: every method delegates to the bench (or the
+// domain), so code rebased from *core.Bench onto Backend produces the
+// same bytes it did before.
+type Local struct {
+	bench *core.Bench
+}
+
+// NewLocal wraps a validated bench.
+func NewLocal(b *core.Bench) (*Local, error) {
+	if b == nil {
+		return nil, fmt.Errorf("backend: nil bench")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &Local{bench: b}, nil
+}
+
+// Bench exposes the wrapped bench for callers that need local-only
+// surfaces (analytic PDN paths, lineage experiments).
+func (l *Local) Bench() *core.Bench { return l.bench }
+
+func (l *Local) domain(name string) (*platform.Domain, error) {
+	return l.bench.Platform.Domain(name)
+}
+
+// PlatformName identifies the wrapped platform.
+func (l *Local) PlatformName() string { return l.bench.Platform.Name }
+
+// Domains lists the platform's voltage domains.
+func (l *Local) Domains() []string {
+	ds := l.bench.Platform.Domains()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Spec.Name
+	}
+	return names
+}
+
+// dsoKindFor mirrors the lab server's visibility→scope mapping so both
+// backends report identical capability records.
+func dsoKindFor(visibility string) string {
+	switch visibility {
+	case "oc-dso":
+		return "oc-dso"
+	case "kelvin-pads":
+		return "bench-scope"
+	default:
+		return ""
+	}
+}
+
+// Caps returns a domain's capability record.
+func (l *Local) Caps(name string) (Caps, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return Caps{}, err
+	}
+	spec := d.Spec
+	return Caps{
+		Domain:            spec.Name,
+		TotalCores:        spec.TotalCores,
+		Arch:              spec.ISA,
+		MaxClockHz:        spec.MaxClockHz,
+		ClockStepHz:       spec.ClockStepHz,
+		VoltageVisibility: spec.VoltageVisibility,
+		DSOKind:           dsoKindFor(spec.VoltageVisibility),
+		Lineage:           true,
+	}, nil
+}
+
+// State returns a domain's current operating point.
+func (l *Local) State(name string) (DomainState, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return DomainState{}, err
+	}
+	return DomainState{
+		ClockHz:      d.ClockHz(),
+		SupplyV:      d.SupplyVolts(),
+		PoweredCores: d.PoweredCores(),
+	}, nil
+}
+
+// SetClock adjusts a domain's DVFS point.
+func (l *Local) SetClock(name string, hz float64) error {
+	d, err := l.domain(name)
+	if err != nil {
+		return err
+	}
+	return d.SetClockHz(hz)
+}
+
+// SetSupply adjusts a domain's supply setpoint.
+func (l *Local) SetSupply(name string, volts float64) error {
+	d, err := l.domain(name)
+	if err != nil {
+		return err
+	}
+	return d.SetSupplyVolts(volts)
+}
+
+// SetPoweredCores power-gates cores.
+func (l *Local) SetPoweredCores(name string, n int) error {
+	d, err := l.domain(name)
+	if err != nil {
+		return err
+	}
+	return d.SetPoweredCores(n)
+}
+
+// Reset restores a domain's nominal operating point.
+func (l *Local) Reset(name string) error {
+	d, err := l.domain(name)
+	if err != nil {
+		return err
+	}
+	d.Reset()
+	return nil
+}
+
+// benchWithSamples returns the bench, re-sampled via a shallow copy when
+// the caller wants a different analyzer averaging depth (the copy shares
+// platform, analyzer and caches; Samples is read per call).
+func (l *Local) benchWithSamples(samples int) *core.Bench {
+	if samples <= 0 || samples == l.bench.Samples {
+		return l.bench
+	}
+	b2 := *l.bench
+	b2.Samples = samples
+	return &b2
+}
+
+// EMMeasure measures a load's EM peak at the bench's default averaging.
+func (l *Local) EMMeasure(name string, load platform.Load) (*instrument.Measurement, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, err
+	}
+	return l.bench.EMMeasure(d, load)
+}
+
+// EMMeasureN measures a load's EM peak with explicit averaging.
+func (l *Local) EMMeasureN(name string, load platform.Load, samples int) (*instrument.Measurement, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, err
+	}
+	return l.bench.EMMeasureN(d, load, samples)
+}
+
+// Measurer builds a GA fitness function on the local bench. The em metric
+// returns the bench's lineage-capable measurer unchanged, so checkpoint
+// resume keeps working through the backend layer.
+func (l *Local) Measurer(spec MeasurerSpec) (ga.Measurer, error) {
+	d, err := l.domain(spec.Domain)
+	if err != nil {
+		return nil, err
+	}
+	b := l.benchWithSamples(spec.Samples)
+	switch spec.Metric {
+	case MetricEM:
+		return b.EMMeasurer(d, spec.ActiveCores), nil
+	case MetricDroop, MetricPtp:
+		vis := d.Spec.VoltageVisibility
+		kind := dsoKindFor(vis)
+		if kind == "" {
+			return nil, &CapabilityError{Domain: spec.Domain, Metric: spec.Metric, Visibility: vis}
+		}
+		var dso *instrument.DSO
+		if kind == "bench-scope" {
+			dso = instrument.NewBenchScope(spec.DSOSeed)
+		} else {
+			dso = instrument.NewOCDSO(spec.DSOSeed)
+		}
+		if spec.Metric == MetricDroop {
+			return b.DroopMeasurer(d, spec.ActiveCores, dso), nil
+		}
+		return b.PtpMeasurer(d, spec.ActiveCores, dso), nil
+	default:
+		return nil, fmt.Errorf("backend: unknown metric %q", spec.Metric)
+	}
+}
+
+// ResonanceSweep runs the fast resonance sweep.
+func (l *Local) ResonanceSweep(name string, activeCores, samples int) (*core.SweepResult, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, err
+	}
+	return l.benchWithSamples(samples).FastResonanceSweep(d, activeCores)
+}
+
+// MonitorAll captures one combined spectrum over several domains' loads.
+func (l *Local) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, error) {
+	return l.bench.MonitorAll(loads)
+}
+
+// Vmin runs a repeated V_MIN search.
+func (l *Local) Vmin(name string, load platform.Load, seed int64, repeats int) (*vmin.Result, []float64, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tester := vmin.NewTester(d, seed)
+	tester.Parallelism = l.bench.Parallelism
+	return tester.Repeat(load, repeats)
+}
+
+// VminShmoo traces the frequency/voltage failure boundary.
+func (l *Local) VminShmoo(name string, load platform.Load, seed int64, clocks []float64) ([]vmin.ShmooPoint, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, err
+	}
+	tester := vmin.NewTester(d, seed)
+	tester.Parallelism = l.bench.Parallelism
+	return tester.Shmoo(load, clocks)
+}
+
+// EvalStats returns the domain's evaluation-cache counters.
+func (l *Local) EvalStats(name string) (string, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return "", err
+	}
+	return d.EvalStats(), nil
+}
+
+// Close is a no-op: the bench lives in-process.
+func (l *Local) Close() error { return nil }

@@ -1,0 +1,490 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/instrument"
+	"repro/internal/isa"
+	"repro/internal/lab"
+	"repro/internal/par"
+	"repro/internal/platform"
+	"repro/internal/vmin"
+)
+
+// Remote drives a lab daemon over TCP through a client pool, presenting
+// it as a Backend. One HELLO negotiation at construction decides the
+// protocol version: a v2 daemon unlocks the full surface; a v1 daemon
+// still serves the EM measurement loop (Measurer with the em metric,
+// EMMeasure, setpoints) while the v2-only operations fail with a clear
+// upgrade message.
+//
+// Everything the daemon measures is content-deterministic and every value
+// crosses the wire as %g (which ParseFloat round-trips exactly), so a
+// Remote against a daemon whose bench has the same platform and seed is
+// bit-identical to a Local on that bench — dropped connections, retries
+// and pool scheduling included.
+type Remote struct {
+	// Samples is the default analyzer averaging for EMMeasure and for
+	// Measurer specs that leave Samples zero (default 30, matching
+	// core.NewBench).
+	Samples int
+
+	addr         string
+	pool         *lab.Pool
+	platformName string
+	version      int
+	domains      []string
+
+	mu   sync.Mutex
+	caps map[string]Caps
+}
+
+// NewRemote dials a lab daemon with a pool of `jobs` sessions (jobs<=0
+// selects GOMAXPROCS) and negotiates the protocol version.
+func NewRemote(addr string, jobs int, opts lab.Options) (*Remote, error) {
+	pool, err := lab.NewPool(addr, par.Workers(jobs), opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Remote{
+		Samples: 30,
+		addr:    addr,
+		pool:    pool,
+		caps:    make(map[string]Caps),
+	}
+	err = pool.Do(func(c *lab.Client) error {
+		ver, name, err := c.Hello(lab.ProtocolVersion)
+		switch {
+		case err == nil:
+			r.version, r.platformName = ver, name
+		case lab.IsTargetError(err):
+			// Pre-HELLO daemon: protocol v1.
+			r.version = 1
+		default:
+			return err
+		}
+		name, doms, err := c.Info()
+		if err != nil {
+			return err
+		}
+		r.platformName = name
+		for _, d := range doms {
+			// INFO reports "name/totalCores".
+			r.domains = append(r.domains, strings.SplitN(d, "/", 2)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// ProtocolVersion reports the negotiated protocol version.
+func (r *Remote) ProtocolVersion() int { return r.version }
+
+// Addr reports the daemon address this backend drives.
+func (r *Remote) Addr() string { return r.addr }
+
+// TransportStats snapshots the pool's transport counters (latency,
+// retries, reconnects) for -v output.
+func (r *Remote) TransportStats() lab.Stats { return r.pool.Stats() }
+
+func (r *Remote) requireV2(what string) error {
+	if r.version >= 2 {
+		return nil
+	}
+	return fmt.Errorf("backend: lab daemon at %s speaks protocol v1 and lacks %s; redeploy cmd/labtarget from this tree", r.addr, what)
+}
+
+// PlatformName identifies the remote rig.
+func (r *Remote) PlatformName() string { return r.platformName }
+
+// Domains lists the remote rig's voltage domains.
+func (r *Remote) Domains() []string {
+	out := make([]string, len(r.domains))
+	copy(out, r.domains)
+	return out
+}
+
+// builtinCaps reconstructs a capability record from the built-in platform
+// catalogue, for v1 daemons that predate CAPS. Every v1 daemon in the
+// field serves one of the built-in boards, so the catalogue is
+// authoritative for them; custom-spec daemons need protocol v2.
+func builtinCaps(platformName, domain string) (Caps, error) {
+	var p *platform.Platform
+	var err error
+	switch platformName {
+	case "juno-r2":
+		p, err = platform.JunoR2()
+	case "amd-desktop":
+		p, err = platform.AMDDesktop()
+	case "gpu-card":
+		p, err = platform.GPUCard()
+	default:
+		return Caps{}, fmt.Errorf("backend: v1 daemon serves unknown platform %q; CAPS needs protocol v2", platformName)
+	}
+	if err != nil {
+		return Caps{}, err
+	}
+	d, err := p.Domain(domain)
+	if err != nil {
+		return Caps{}, err
+	}
+	spec := d.Spec
+	return Caps{
+		Domain:            spec.Name,
+		TotalCores:        spec.TotalCores,
+		Arch:              spec.ISA,
+		MaxClockHz:        spec.MaxClockHz,
+		ClockStepHz:       spec.ClockStepHz,
+		VoltageVisibility: spec.VoltageVisibility,
+		DSOKind:           dsoKindFor(spec.VoltageVisibility),
+		Lineage:           false,
+	}, nil
+}
+
+// Caps returns a domain's capability record (cached after the first
+// query; capabilities are static for the life of a daemon).
+func (r *Remote) Caps(domain string) (Caps, error) {
+	r.mu.Lock()
+	if caps, ok := r.caps[domain]; ok {
+		r.mu.Unlock()
+		return caps, nil
+	}
+	r.mu.Unlock()
+
+	var caps Caps
+	if r.version >= 2 {
+		err := r.pool.Do(func(c *lab.Client) error {
+			rc, err := c.Caps(domain)
+			if err != nil {
+				return err
+			}
+			caps = Caps{
+				Domain:            domain,
+				TotalCores:        rc.TotalCores,
+				Arch:              rc.Arch,
+				MaxClockHz:        rc.MaxClockHz,
+				ClockStepHz:       rc.ClockStepHz,
+				VoltageVisibility: rc.VoltageVisibility,
+				DSOKind:           rc.DSOKind,
+				Lineage:           rc.Lineage,
+			}
+			return nil
+		})
+		if err != nil {
+			return Caps{}, err
+		}
+	} else {
+		var err error
+		caps, err = builtinCaps(r.platformName, domain)
+		if err != nil {
+			return Caps{}, err
+		}
+	}
+	r.mu.Lock()
+	r.caps[domain] = caps
+	r.mu.Unlock()
+	return caps, nil
+}
+
+// State queries a domain's current operating point.
+func (r *Remote) State(domain string) (DomainState, error) {
+	if err := r.requireV2("STATE"); err != nil {
+		return DomainState{}, err
+	}
+	var st DomainState
+	err := r.pool.Do(func(c *lab.Client) error {
+		rs, err := c.State(domain)
+		if err != nil {
+			return err
+		}
+		st = DomainState{ClockHz: rs.ClockHz, SupplyV: rs.SupplyV, PoweredCores: rs.PoweredCores}
+		return nil
+	})
+	return st, err
+}
+
+// SetClock adjusts the remote domain's DVFS point.
+func (r *Remote) SetClock(domain string, hz float64) error {
+	return r.pool.Do(func(c *lab.Client) error { return c.SetClock(domain, hz) })
+}
+
+// SetSupply adjusts the remote domain's supply setpoint.
+func (r *Remote) SetSupply(domain string, volts float64) error {
+	return r.pool.Do(func(c *lab.Client) error { return c.SetVolts(domain, volts) })
+}
+
+// SetPoweredCores power-gates cores on the remote domain.
+func (r *Remote) SetPoweredCores(domain string, n int) error {
+	return r.pool.Do(func(c *lab.Client) error { return c.SetCores(domain, n) })
+}
+
+// Reset restores the remote domain's nominal operating point.
+func (r *Remote) Reset(domain string) error {
+	return r.pool.Do(func(c *lab.Client) error { return c.Reset(domain) })
+}
+
+// loadable rejects loads the LOAD verb cannot express.
+func loadable(load platform.Load) error {
+	if len(load.PhaseCycles) > 0 {
+		return fmt.Errorf("backend: remote EM measurement cannot carry phase annotations; use MonitorAll")
+	}
+	return nil
+}
+
+// EMMeasure measures a load's EM peak at the backend's default averaging.
+func (r *Remote) EMMeasure(domain string, load platform.Load) (*instrument.Measurement, error) {
+	return r.EMMeasureN(domain, load, r.Samples)
+}
+
+// EMMeasureN measures a load's EM peak with explicit averaging via the
+// paper's load/run/measure/stop cycle.
+func (r *Remote) EMMeasureN(domain string, load platform.Load, samples int) (*instrument.Measurement, error) {
+	if err := loadable(load); err != nil {
+		return nil, err
+	}
+	caps, err := r.Caps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var m *instrument.Measurement
+	err = r.pool.Do(func(c *lab.Client) error {
+		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+			return err
+		}
+		if err := c.Run(); err != nil {
+			return err
+		}
+		rm, err := c.Measure(samples)
+		if err != nil {
+			_ = c.Stop()
+			return err
+		}
+		if err := c.Stop(); err != nil {
+			return err
+		}
+		m = &instrument.Measurement{
+			PeakDBm:  rm.PeakDBm,
+			PeakHz:   rm.PeakHz,
+			Samples:  samples,
+			StdevDBm: rm.StdevDBm,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Measurer builds a GA fitness function that evaluates each individual on
+// the remote target. The em metric uses the v1 MEASURE loop (so it works
+// against old daemons); droop/ptp need the v2 VMEASURE verb and fail
+// client-side with a *CapabilityError when the domain is voltage-blind.
+func (r *Remote) Measurer(spec MeasurerSpec) (ga.Measurer, error) {
+	caps, err := r.Caps(spec.Domain)
+	if err != nil {
+		return nil, err
+	}
+	samples := spec.Samples
+	if samples <= 0 {
+		samples = r.Samples
+	}
+	switch spec.Metric {
+	case MetricEM:
+	case MetricDroop, MetricPtp:
+		if caps.DSOKind == "" {
+			return nil, &CapabilityError{Domain: spec.Domain, Metric: spec.Metric, Visibility: caps.VoltageVisibility}
+		}
+		if err := r.requireV2("the VMEASURE verb (droop/ptp metrics)"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("backend: unknown metric %q", spec.Metric)
+	}
+	ipool := caps.Pool()
+	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
+		var fitness, domHz float64
+		err := r.pool.Do(func(c *lab.Client) error {
+			if err := c.Load(spec.Domain, spec.ActiveCores, ipool, seq); err != nil {
+				return err
+			}
+			if err := c.Run(); err != nil {
+				return err
+			}
+			var merr error
+			if spec.Metric == MetricEM {
+				m, err := c.Measure(samples)
+				if err == nil {
+					fitness, domHz = m.PeakDBm, m.PeakHz
+				}
+				merr = err
+			} else {
+				fitness, domHz, merr = c.VMeasure(string(spec.Metric), samples, spec.DSOSeed)
+			}
+			if merr != nil {
+				_ = c.Stop()
+				return merr
+			}
+			return c.Stop()
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return fitness, domHz, nil
+	}), nil
+}
+
+// ResonanceSweep runs the fast resonance sweep on the daemon.
+func (r *Remote) ResonanceSweep(domain string, activeCores, samples int) (*core.SweepResult, error) {
+	if err := r.requireV2("the SWEEPFULL verb"); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		samples = r.Samples
+	}
+	var res *core.SweepResult
+	err := r.pool.Do(func(c *lab.Client) error {
+		var err error
+		res, err = c.SweepFull(domain, activeCores, samples)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MonitorAll captures one combined spectrum over several domains' loads.
+// Parts are sent in sorted domain order — the same order the bench's
+// MonitorAll iterates — so the target's float summation matches a local
+// capture exactly.
+func (r *Remote) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, error) {
+	if err := r.requireV2("the MONITOR verb"); err != nil {
+		return nil, err
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("backend: no loads to monitor")
+	}
+	names := make([]string, 0, len(loads))
+	for name := range loads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]lab.MonitorPart, 0, len(names))
+	for _, name := range names {
+		caps, err := r.Caps(name)
+		if err != nil {
+			return nil, err
+		}
+		l := loads[name]
+		parts = append(parts, lab.MonitorPart{
+			Domain: name,
+			Cores:  l.ActiveCores,
+			Pool:   caps.Pool(),
+			Seq:    l.Seq,
+			Phases: l.PhaseCycles,
+		})
+	}
+	var sw *instrument.Sweep
+	err := r.pool.Do(func(c *lab.Client) error {
+		var err error
+		sw, err = c.Monitor(parts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Vmin runs a repeated V_MIN search on the daemon with the workstation's
+// tester seed. The returned Result carries no Trials (the descent log
+// stays on the target).
+func (r *Remote) Vmin(domain string, load platform.Load, seed int64, repeats int) (*vmin.Result, []float64, error) {
+	if err := r.requireV2("the VMINFULL verb"); err != nil {
+		return nil, nil, err
+	}
+	if err := loadable(load); err != nil {
+		return nil, nil, err
+	}
+	caps, err := r.Caps(domain)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *vmin.Result
+	var runs []float64
+	err = r.pool.Do(func(c *lab.Client) error {
+		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+			return err
+		}
+		full, err := c.VminFull(seed, repeats)
+		if err != nil {
+			return err
+		}
+		res = &vmin.Result{
+			VminV:         full.VminV,
+			Outcome:       full.Outcome,
+			MarginV:       full.MarginV,
+			DroopNominalV: full.DroopNominalV,
+		}
+		runs = full.Runs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, runs, nil
+}
+
+// VminShmoo traces the frequency/voltage failure boundary on the daemon.
+func (r *Remote) VminShmoo(domain string, load platform.Load, seed int64, clocks []float64) ([]vmin.ShmooPoint, error) {
+	if err := r.requireV2("the SHMOO verb"); err != nil {
+		return nil, err
+	}
+	if err := loadable(load); err != nil {
+		return nil, err
+	}
+	caps, err := r.Caps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var points []vmin.ShmooPoint
+	err = r.pool.Do(func(c *lab.Client) error {
+		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+			return err
+		}
+		var err error
+		points, err = c.Shmoo(seed, clocks)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// EvalStats fetches the daemon-side evaluation-cache counters.
+func (r *Remote) EvalStats(domain string) (string, error) {
+	if err := r.requireV2("the STATS verb"); err != nil {
+		return "", err
+	}
+	var stats string
+	err := r.pool.Do(func(c *lab.Client) error {
+		var err error
+		stats, err = c.DomainStats(domain)
+		return err
+	})
+	return stats, err
+}
+
+// Close drains and closes the client pool.
+func (r *Remote) Close() error { return r.pool.Close() }

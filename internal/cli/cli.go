@@ -1,0 +1,339 @@
+// Package cli is the shared wiring of the measurement commands (sweep,
+// vmin, characterize, gahunt, repro): one flag vocabulary, one platform
+// builder, one backend construction path. Every command gets the same
+// universal block — -seed, -j, -v, -remote, -cpuprofile, -memprofile —
+// plus the per-command flags its profile declares, so `-remote ADDR`
+// means exactly the same thing everywhere and a new command cannot drift.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/lab"
+	"repro/internal/platform"
+	"repro/internal/prof"
+	"repro/internal/session"
+)
+
+// Spec declares which per-command flags a command carries on top of the
+// universal block.
+type Spec struct {
+	// Platform/domain selection (-platform, -domain).
+	Platform      bool
+	DomainDefault string // default for -domain; "" = platform's first
+	// Cores adds -cores (active cores; 0 = all powered unless CoresDefault).
+	Cores        bool
+	CoresDefault int
+	// Samples adds -samples (analyzer averaging; default 30).
+	Samples bool
+	// Session adds -session (write a JSON session report).
+	Session bool
+	// SeedDefault is the -seed default (repro historically uses 7).
+	SeedDefault int64
+}
+
+// Profiles is the flag inventory of every measurement command. The
+// flag-parity test in this package walks it, so adding a command here is
+// what keeps the inventory honest.
+var Profiles = map[string]Spec{
+	"sweep":        {Platform: true, Samples: true, Session: true, SeedDefault: 1},
+	"vmin":         {Platform: true, Cores: true, Session: true, SeedDefault: 1},
+	"characterize": {Platform: true, Cores: true, SeedDefault: 1},
+	"gahunt":       {Platform: true, DomainDefault: platform.DomainA72, Cores: true, CoresDefault: 2, Samples: true, Session: true, SeedDefault: 1},
+	"repro":        {SeedDefault: 7},
+}
+
+// UniversalFlags is the block every command registers.
+var UniversalFlags = []string{"seed", "j", "v", "remote", "cpuprofile", "memprofile"}
+
+// App is one command's parsed flag set plus the construction helpers that
+// turn it into a Backend.
+type App struct {
+	Name string
+	Spec Spec
+
+	Seed       *int64
+	Jobs       *int
+	Verbose    *bool
+	Remote     *string
+	CPUProfile *string
+	MemProfile *string
+
+	Platform   *string // nil unless Spec.Platform
+	DomainFlag *string
+	Cores      *int    // nil unless Spec.Cores
+	Samples    *int    // nil unless Spec.Samples
+	Session    *string // nil unless Spec.Session
+
+	// BenchSamples overrides the bench's analyzer averaging when the
+	// command has no -samples flag (characterize -quick). Set it before
+	// calling Backend.
+	BenchSamples int
+
+	fs *flag.FlagSet
+}
+
+// New registers the command's flag profile on fs (flag.CommandLine in the
+// real commands, a scratch set in tests). The command name must appear in
+// Profiles.
+func New(name string, fs *flag.FlagSet) *App {
+	spec, ok := Profiles[name]
+	if !ok {
+		panic(fmt.Sprintf("cli: no flag profile for command %q", name))
+	}
+	a := &App{Name: name, Spec: spec, fs: fs}
+	a.Seed = fs.Int64("seed", spec.SeedDefault, "random seed")
+	a.Jobs = fs.Int("j", runtime.NumCPU(), "parallel evaluations (results are identical at any setting)")
+	a.Verbose = fs.Bool("v", false, "print evaluation statistics (transport counters when -remote, cache counters otherwise)")
+	a.Remote = fs.String("remote", "", "labtarget address for remote measurement (host:port)")
+	a.CPUProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	a.MemProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if spec.Platform {
+		a.Platform = fs.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
+		domainHelp := "voltage domain (defaults to the platform's first)"
+		if spec.DomainDefault != "" {
+			domainHelp = "voltage domain"
+		}
+		a.DomainFlag = fs.String("domain", spec.DomainDefault, domainHelp)
+	}
+	if spec.Cores {
+		coresHelp := "active cores (default: all powered)"
+		if spec.CoresDefault > 0 {
+			coresHelp = "active cores"
+		}
+		a.Cores = fs.Int("cores", spec.CoresDefault, coresHelp)
+	}
+	if spec.Samples {
+		a.Samples = fs.Int("samples", 30, "analyzer sweeps averaged per measurement")
+	}
+	if spec.Session {
+		a.Session = fs.String("session", "", "write a JSON session report to this file")
+	}
+	return a
+}
+
+// StartProfiling starts the pprof writers the universal flags request;
+// call the returned stop function at exit.
+func (a *App) StartProfiling() (func(), error) {
+	return prof.Start(*a.CPUProfile, *a.MemProfile)
+}
+
+// BuildPlatform constructs a platform from its CLI name: a built-in board
+// key or a .json domain-spec file.
+func BuildPlatform(name string) (*platform.Platform, error) {
+	switch name {
+	case "juno":
+		return platform.JunoR2()
+	case "amd":
+		return platform.AMDDesktop()
+	case "gpu":
+		return platform.GPUCard()
+	}
+	if strings.HasSuffix(name, ".json") {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		spec, err := platform.LoadSpecJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return platform.NewPlatform(spec.Name, em.DefaultLoopAntenna(), spec)
+	}
+	return nil, fmt.Errorf("unknown platform %q (want juno, amd, gpu or a .json spec)", name)
+}
+
+// platformSet reports whether -platform was given explicitly.
+func (a *App) platformSet() bool {
+	set := false
+	a.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "platform" {
+			set = true
+		}
+	})
+	return set
+}
+
+// Backend builds the measurement backend the flags select: a local bench
+// seeded by -seed, or (with -remote) a pool of -j sessions against a lab
+// daemon. An explicit -platform combined with -remote is verified against
+// the daemon's identity, so pointing a juno campaign at an amd daemon
+// fails up front instead of producing a confusing report.
+func (a *App) Backend() (backend.Backend, error) {
+	if *a.Remote != "" {
+		be, err := backend.NewRemote(*a.Remote, *a.Jobs, lab.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if s := a.samples(); s > 0 {
+			be.Samples = s
+		}
+		if a.Platform != nil && a.platformSet() {
+			p, err := BuildPlatform(*a.Platform)
+			if err != nil {
+				be.Close()
+				return nil, err
+			}
+			if p.Name != be.PlatformName() {
+				be.Close()
+				return nil, fmt.Errorf("remote daemon at %s serves %s, but -platform %s (%s) was requested",
+					*a.Remote, be.PlatformName(), *a.Platform, p.Name)
+			}
+		}
+		return be, nil
+	}
+	platName := "juno"
+	if a.Platform != nil {
+		platName = *a.Platform
+	}
+	p, err := BuildPlatform(platName)
+	if err != nil {
+		return nil, err
+	}
+	bench, err := core.NewBench(p, *a.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if s := a.samples(); s > 0 {
+		bench.Samples = s
+	}
+	bench.Parallelism = *a.Jobs
+	return backend.NewLocal(bench)
+}
+
+// samples resolves the effective analyzer averaging override: the
+// -samples flag when present, else BenchSamples, else 0 (backend
+// default).
+func (a *App) samples() int {
+	if a.Samples != nil {
+		return *a.Samples
+	}
+	return a.BenchSamples
+}
+
+// Domain resolves the target domain: the -domain flag, or the backend's
+// first domain. The choice is validated against the backend's capability
+// query.
+func (a *App) Domain(be backend.Backend) (string, error) {
+	name := ""
+	if a.DomainFlag != nil {
+		name = *a.DomainFlag
+	}
+	if name == "" {
+		doms := be.Domains()
+		if len(doms) == 0 {
+			return "", fmt.Errorf("backend reports no domains")
+		}
+		name = doms[0]
+	}
+	if _, err := be.Caps(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// ActiveCores resolves the -cores flag: an explicit value passes through,
+// 0 means every currently powered core.
+func (a *App) ActiveCores(be backend.Backend, domain string) (int, error) {
+	if a.Cores != nil && *a.Cores > 0 {
+		return *a.Cores, nil
+	}
+	st, err := be.State(domain)
+	if err != nil {
+		return 0, err
+	}
+	return st.PoweredCores, nil
+}
+
+// MaybePrintStats prints the -v diagnostics: the rig's evaluation-cache
+// counters for a local backend, the transport counters for a remote one.
+func (a *App) MaybePrintStats(be backend.Backend, domain string) {
+	if !*a.Verbose {
+		return
+	}
+	if r, ok := be.(*backend.Remote); ok {
+		fmt.Println(r.TransportStats().String())
+		return
+	}
+	stats, err := be.EvalStats(domain)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: stats: %v\n", a.Name, err)
+		return
+	}
+	fmt.Println(stats)
+}
+
+// NewSession starts a session report for the domain's current state as
+// the backend observes it.
+func (a *App) NewSession(be backend.Backend, domain string, now time.Time) (*session.Report, error) {
+	return session.New(be, domain, now)
+}
+
+// SaveSession writes a session report to the -session file when one was
+// requested; it is a no-op otherwise.
+func (a *App) SaveSession(rep *session.Report) error {
+	if a.Session == nil || *a.Session == "" {
+		return nil
+	}
+	f, err := os.Create(*a.Session)
+	if err != nil {
+		return err
+	}
+	if err := rep.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("session report written to %s\n", *a.Session)
+	return nil
+}
+
+// RemoteBackends dials a comma-separated list of labtarget addresses and
+// keys the resulting backends by the platform each daemon serves (repro
+// drives multiple rigs — one per platform). The returned closer shuts
+// down every pool.
+func RemoteBackends(addrs string, jobs int) (map[string]backend.Backend, func(), error) {
+	out := make(map[string]backend.Backend)
+	closeAll := func() {
+		for _, be := range out {
+			be.Close()
+		}
+	}
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		be, err := backend.NewRemote(addr, jobs, lab.Options{})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		name := be.PlatformName()
+		if prev, dup := out[name]; dup {
+			be.Close()
+			closeAll()
+			_ = prev
+			return nil, nil, fmt.Errorf("two daemons serve platform %s (%s and %s)", name, addr, addrs)
+		}
+		out[name] = be
+	}
+	return out, closeAll, nil
+}
+
+// Fatal prints a command-prefixed error and exits.
+func (a *App) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package cli
+
+import (
+	"flag"
+	"strconv"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// flagNames collects the registered flag names of a set.
+func flagNames(fs *flag.FlagSet) map[string]*flag.Flag {
+	out := make(map[string]*flag.Flag)
+	fs.VisitAll(func(f *flag.Flag) { out[f.Name] = f })
+	return out
+}
+
+// TestFlagInventory walks every command profile and checks that the
+// universal block is registered on all of them and the per-command flags
+// appear exactly when the profile declares them. This is the drift guard:
+// a command that grows a private -remote or loses -j fails here.
+func TestFlagInventory(t *testing.T) {
+	for name, spec := range Profiles {
+		t.Run(name, func(t *testing.T) {
+			fs := flag.NewFlagSet(name, flag.ContinueOnError)
+			app := New(name, fs)
+			flags := flagNames(fs)
+
+			for _, u := range UniversalFlags {
+				if _, ok := flags[u]; !ok {
+					t.Errorf("%s is missing universal flag -%s", name, u)
+				}
+			}
+			conditional := map[string]bool{
+				"platform": spec.Platform,
+				"domain":   spec.Platform,
+				"cores":    spec.Cores,
+				"samples":  spec.Samples,
+				"session":  spec.Session,
+			}
+			for fname, want := range conditional {
+				if _, got := flags[fname]; got != want {
+					t.Errorf("%s: -%s registered=%v, profile says %v", name, fname, got, want)
+				}
+			}
+
+			if got := flags["seed"].DefValue; got != strconv.FormatInt(spec.SeedDefault, 10) {
+				t.Errorf("%s: -seed default %s, want %d", name, got, spec.SeedDefault)
+			}
+			if spec.Cores {
+				if got := flags["cores"].DefValue; got != strconv.Itoa(spec.CoresDefault) {
+					t.Errorf("%s: -cores default %s, want %d", name, got, spec.CoresDefault)
+				}
+			}
+			if spec.Platform {
+				if got := flags["domain"].DefValue; got != spec.DomainDefault {
+					t.Errorf("%s: -domain default %q, want %q", name, got, spec.DomainDefault)
+				}
+			}
+
+			// The App handles mirror the registration.
+			if app.Seed == nil || app.Jobs == nil || app.Verbose == nil ||
+				app.Remote == nil || app.CPUProfile == nil || app.MemProfile == nil {
+				t.Errorf("%s: universal flag pointer is nil", name)
+			}
+			if (app.Platform != nil) != spec.Platform || (app.Cores != nil) != spec.Cores ||
+				(app.Samples != nil) != spec.Samples || (app.Session != nil) != spec.Session {
+				t.Errorf("%s: App pointers disagree with profile %+v", name, spec)
+			}
+		})
+	}
+}
+
+// TestProfileDefaults pins the command-specific defaults users depend on.
+func TestProfileDefaults(t *testing.T) {
+	if Profiles["repro"].SeedDefault != 7 {
+		t.Error("repro's historical -seed default is 7")
+	}
+	g := Profiles["gahunt"]
+	if g.DomainDefault != platform.DomainA72 || g.CoresDefault != 2 {
+		t.Errorf("gahunt defaults drifted: %+v", g)
+	}
+	for _, name := range []string{"sweep", "vmin", "characterize", "gahunt"} {
+		if !Profiles[name].Platform {
+			t.Errorf("%s must carry -platform/-domain", name)
+		}
+	}
+}
+
+// TestNewPanicsOnUnknownCommand: a command not in Profiles is a programming
+// error, caught at startup.
+func TestNewPanicsOnUnknownCommand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(\"nope\") did not panic")
+		}
+	}()
+	New("nope", flag.NewFlagSet("nope", flag.ContinueOnError))
+}
+
+// TestBuildPlatform covers the CLI platform names.
+func TestBuildPlatform(t *testing.T) {
+	for name, want := range map[string]string{"juno": "juno-r2", "amd": "amd-desktop", "gpu": "gpu-card"} {
+		p, err := BuildPlatform(name)
+		if err != nil {
+			t.Fatalf("BuildPlatform(%q): %v", name, err)
+		}
+		if p.Name != want {
+			t.Errorf("BuildPlatform(%q).Name = %q, want %q", name, p.Name, want)
+		}
+	}
+	if _, err := BuildPlatform("vax"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -165,8 +165,18 @@ func (b *Bench) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, e
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("core: no loads to monitor")
 	}
+	// Iterate domains in sorted-name order: combined power is a float sum
+	// over emitters, so a fixed order keeps the result bit-identical from
+	// run to run (and equal between the local and remote backends, which
+	// serialize the same order over the wire).
+	names := make([]string, 0, len(loads))
+	for name := range loads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var emitters []em.Emitter
-	for name, l := range loads {
+	for _, name := range names {
+		l := loads[name]
 		d, err := b.Platform.Domain(name)
 		if err != nil {
 			return nil, err

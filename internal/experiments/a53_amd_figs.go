@@ -34,30 +34,23 @@ func runFig12(c *Context) (*Result, error) {
 // capacitance, so the resonance climbs from ~76.5 MHz to ~97 MHz, and with
 // the least capacitance the emission amplitude is largest.
 func runFig13(c *Context) (*Result, error) {
-	d, err := c.Juno.Domain(platform.DomainA53)
-	if err != nil {
-		return nil, err
-	}
 	labels := map[int]string{4: "C0C1C2C3", 3: "C0C1C2", 2: "C0C1", 1: "C0"}
 	tb := report.NewTable("Resonance vs powered cores (Cortex-A53)",
 		"powered", "resonance", "peak EM")
 	vals := make(map[string]float64)
-	prev := 0.0
 	var amp1, amp4 float64
 	for cores := 4; cores >= 1; cores-- {
-		if err := d.SetPoweredCores(cores); err != nil {
+		if err := c.JunoBE.SetPoweredCores(platform.DomainA53, cores); err != nil {
 			return nil, err
 		}
-		res, err := c.JunoBench.FastResonanceSweep(d, 1)
+		res, err := c.JunoBE.ResonanceSweep(platform.DomainA53, 1, 0)
 		if err != nil {
-			d.Reset()
+			_ = c.JunoBE.Reset(platform.DomainA53)
 			return nil, err
 		}
 		tb.AddRow(labels[cores], report.MHz(res.ResonanceHz), report.DBm(res.PeakDBm))
 		vals[fmt.Sprintf("resonance_%dcores_hz", cores)] = res.ResonanceHz
 		vals[fmt.Sprintf("peak_%dcores_dbm", cores)] = res.PeakDBm
-		prev = res.ResonanceHz
-		_ = prev
 		if cores == 1 {
 			amp1 = res.PeakDBm
 		}
@@ -65,7 +58,9 @@ func runFig13(c *Context) (*Result, error) {
 			amp4 = res.PeakDBm
 		}
 	}
-	d.Reset()
+	if err := c.JunoBE.Reset(platform.DomainA53); err != nil {
+		return nil, err
+	}
 	vals["amp_gain_1_vs_4_db"] = amp1 - amp4
 	return &Result{ID: "fig13", Title: "Power-gating resonance shifts on Cortex-A53", Text: tb.String(), Values: vals}, nil
 }
@@ -97,7 +92,7 @@ func runFig14(c *Context) (*Result, error) {
 		return nil, err
 	}
 	loads["emVirus"] = emV
-	rows, err := c.vminCampaign(d, loads, map[string]bool{"emVirus": true}, fig14Order)
+	rows, err := c.vminCampaign(c.JunoBE, platform.DomainA53, loads, map[string]bool{"emVirus": true}, fig14Order)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +123,7 @@ func runFig15(c *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := c.JunoBench.MonitorAll(map[string]platform.Load{
+	sweep, err := c.JunoBE.MonitorAll(map[string]platform.Load{
 		platform.DomainA72: a72Load,
 		platform.DomainA53: a53Load,
 	})
@@ -159,11 +154,7 @@ func runFig15(c *Context) (*Result, error) {
 // runFig16 reproduces Figure 16: the fast EM sweep on the Athlon II finds
 // the resonance near 78 MHz.
 func runFig16(c *Context) (*Result, error) {
-	d, err := c.AMD.Domain(platform.DomainAthlon)
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.AMDBench.FastResonanceSweep(d, 4)
+	res, err := c.AMDBE.ResonanceSweep(platform.DomainAthlon, 4, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +223,7 @@ func runFig18(c *Context) (*Result, error) {
 	}
 	loads["emVirus"] = emV
 	loads["oscVirus"] = oscV
-	rows, err := c.vminCampaign(d, loads,
+	rows, err := c.vminCampaign(c.AMDBE, platform.DomainAthlon, loads,
 		map[string]bool{"emVirus": true, "oscVirus": true}, fig18Order)
 	if err != nil {
 		return nil, err
@@ -249,7 +240,7 @@ func runFig18(c *Context) (*Result, error) {
 	// still more severe than the stability tests on four.
 	twoCore := emV
 	twoCore.ActiveCores = 2
-	twoRows, err := c.vminCampaign(d, map[string]platform.Load{"emVirus2": twoCore},
+	twoRows, err := c.vminCampaign(c.AMDBE, platform.DomainAthlon, map[string]platform.Load{"emVirus2": twoCore},
 		map[string]bool{"emVirus2": true}, []string{"emVirus2"})
 	if err != nil {
 		return nil, err

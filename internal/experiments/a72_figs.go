@@ -126,8 +126,9 @@ func runFig9(c *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Spectrum analyzer view through the antenna.
-	m, err := c.JunoBench.EMMeasure(d, virus)
+	// Spectrum analyzer view through the antenna (via the backend, so a
+	// remote rig feeds the same comparison).
+	m, err := c.JunoBE.EMMeasure(platform.DomainA72, virus)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +203,7 @@ func runFig10(c *Context) (*Result, error) {
 	loads["emVirus"] = emV
 	loads["dsoVirus"] = dsoV
 
-	rows, err := c.vminCampaign(d, loads,
+	rows, err := c.vminCampaign(c.JunoBE, platform.DomainA72, loads,
 		map[string]bool{"emVirus": true, "dsoVirus": true}, fig10Order)
 	if err != nil {
 		return nil, err
@@ -228,19 +229,17 @@ func runFig10(c *Context) (*Result, error) {
 // runFig11 reproduces Figure 11: the fast EM sweep on the A72 peaks around
 // 70 MHz with both cores powered and ~85 MHz with one.
 func runFig11(c *Context) (*Result, error) {
-	d, err := c.Juno.Domain(platform.DomainA72)
+	both, err := c.JunoBE.ResonanceSweep(platform.DomainA72, 2, 0)
 	if err != nil {
 		return nil, err
 	}
-	both, err := c.JunoBench.FastResonanceSweep(d, 2)
-	if err != nil {
+	if err := c.JunoBE.SetPoweredCores(platform.DomainA72, 1); err != nil {
 		return nil, err
 	}
-	if err := d.SetPoweredCores(1); err != nil {
-		return nil, err
+	one, err := c.JunoBE.ResonanceSweep(platform.DomainA72, 1, 0)
+	if rerr := c.JunoBE.Reset(platform.DomainA72); err == nil {
+		err = rerr
 	}
-	one, err := c.JunoBench.FastResonanceSweep(d, 1)
-	d.Reset()
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,10 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ga"
+	"repro/internal/isa"
 	"repro/internal/platform"
 )
 
@@ -27,6 +29,14 @@ type Options struct {
 	// Parallelism bounds the worker count of the GA runs and sweeps; 0 or
 	// 1 runs serially. Results are identical at any setting.
 	Parallelism int
+	// Backends substitutes remote measurement backends for the local
+	// benches, keyed by platform name ("juno-r2", "amd-desktop"). The
+	// measurement-driven experiments (sweeps, GAs, V_MIN campaigns,
+	// monitoring) run through them; the analytic paths (PDN math, SCL,
+	// direct scope captures) always use the local models. A daemon whose
+	// bench is seeded Seed+1 (juno) / Seed+2 (amd) reproduces the local
+	// results bit for bit.
+	Backends map[string]backend.Backend
 }
 
 // Result is a completed experiment.
@@ -58,6 +68,12 @@ type Context struct {
 	JunoBench *core.Bench
 	AMDBench  *core.Bench
 
+	// JunoBE/AMDBE are the measurement backends the experiments drive —
+	// Local wrappers of the benches above unless Options.Backends
+	// substitutes remote ones.
+	JunoBE backend.Backend
+	AMDBE  backend.Backend
+
 	mu      sync.Mutex
 	viruses map[string]*ga.Result
 }
@@ -86,19 +102,45 @@ func NewContext(opts Options) (*Context, error) {
 	}
 	jb.Parallelism = opts.Parallelism
 	ab.Parallelism = opts.Parallelism
+	jbe, err := backendFor(opts, juno.Name, jb)
+	if err != nil {
+		return nil, err
+	}
+	abe, err := backendFor(opts, amd.Name, ab)
+	if err != nil {
+		return nil, err
+	}
 	return &Context{
 		Opts:      opts,
 		Juno:      juno,
 		AMD:       amd,
 		JunoBench: jb,
 		AMDBench:  ab,
+		JunoBE:    jbe,
+		AMDBE:     abe,
 		viruses:   make(map[string]*ga.Result),
 	}, nil
 }
 
+// backendFor picks the substitute backend for a platform, or wraps the
+// local bench. A substituted remote inherits the bench's analyzer
+// averaging so Quick mode scales both sides identically.
+func backendFor(opts Options, name string, b *core.Bench) (backend.Backend, error) {
+	if be, ok := opts.Backends[name]; ok {
+		if got := be.PlatformName(); got != name {
+			return nil, fmt.Errorf("experiments: backend for %q serves platform %q", name, got)
+		}
+		if r, ok := be.(*backend.Remote); ok {
+			r.Samples = b.Samples
+		}
+		return be, nil
+	}
+	return backend.NewLocal(b)
+}
+
 // gaConfig returns the GA settings at the current scale.
-func (c *Context) gaConfig(d *platform.Domain) ga.Config {
-	cfg := ga.DefaultConfig(d.Spec.Pool())
+func (c *Context) gaConfig(pool *isa.Pool) ga.Config {
+	cfg := ga.DefaultConfig(pool)
 	cfg.Seed = c.Opts.Seed + 10
 	cfg.Parallelism = c.Opts.Parallelism
 	if c.Opts.Quick {

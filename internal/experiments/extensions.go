@@ -56,7 +56,7 @@ func runExtGPU(c *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := c.gaConfig(d)
+	cfg := c.gaConfig(d.Spec.Pool())
 	virus, err := b.GenerateVirus(d, cfg, 8, nil)
 	if err != nil {
 		return nil, err

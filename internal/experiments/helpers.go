@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/ga"
 	"repro/internal/isa"
 	"repro/internal/platform"
@@ -45,24 +46,23 @@ type vminRow struct {
 }
 
 // vminCampaign measures V_MIN and nominal droop for a set of loads on one
-// domain. Viruses are repeated per the paper (worst of N); plain
-// benchmarks get a single search.
-func (c *Context) vminCampaign(d *platform.Domain, loads map[string]platform.Load,
+// domain through its backend. Viruses are repeated per the paper (worst
+// of N); plain benchmarks get a single search. The trial RNG is keyed by
+// seed and operating point, so per-load backend calls reproduce the old
+// shared-tester results exactly.
+func (c *Context) vminCampaign(be backend.Backend, domain string, loads map[string]platform.Load,
 	virusNames map[string]bool, order []string) ([]vminRow, error) {
-	tester := vmin.NewTester(d, c.Opts.Seed+30)
 	var rows []vminRow
 	for _, name := range order {
 		l, ok := loads[name]
 		if !ok {
 			return nil, fmt.Errorf("experiments: no load %q in campaign", name)
 		}
-		var res *vmin.Result
-		var err error
+		repeats := 1
 		if virusNames[name] {
-			res, _, err = tester.Repeat(l, c.vminRepeats())
-		} else {
-			res, err = tester.Search(l)
+			repeats = c.vminRepeats()
 		}
+		res, _, err := be.Vmin(domain, l, c.Opts.Seed+30, repeats)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: vmin of %q: %w", name, err)
 		}

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/ga"
-	"repro/internal/instrument"
 	"repro/internal/platform"
 )
 
@@ -25,22 +24,22 @@ func VirusNames() []string {
 
 // virusSpec describes how a virus is generated.
 type virusSpec struct {
-	bench  func(c *Context) *core.Bench
+	be     func(c *Context) backend.Backend
 	domain string
 	cores  int
 	em     bool // EM-driven; otherwise voltage-driven through the scope
 }
 
 var virusSpecs = map[string]virusSpec{
-	VirusA72EM:  {bench: junoBench, domain: platform.DomainA72, cores: 2, em: true},
-	VirusA72DSO: {bench: junoBench, domain: platform.DomainA72, cores: 2, em: false},
-	VirusA53EM:  {bench: junoBench, domain: platform.DomainA53, cores: 4, em: true},
-	VirusAMDEM:  {bench: amdBench, domain: platform.DomainAthlon, cores: 4, em: true},
-	VirusAMDOsc: {bench: amdBench, domain: platform.DomainAthlon, cores: 4, em: false},
+	VirusA72EM:  {be: junoBE, domain: platform.DomainA72, cores: 2, em: true},
+	VirusA72DSO: {be: junoBE, domain: platform.DomainA72, cores: 2, em: false},
+	VirusA53EM:  {be: junoBE, domain: platform.DomainA53, cores: 4, em: true},
+	VirusAMDEM:  {be: amdBE, domain: platform.DomainAthlon, cores: 4, em: true},
+	VirusAMDOsc: {be: amdBE, domain: platform.DomainAthlon, cores: 4, em: false},
 }
 
-func junoBench(c *Context) *core.Bench { return c.JunoBench }
-func amdBench(c *Context) *core.Bench  { return c.AMDBench }
+func junoBE(c *Context) backend.Backend { return c.JunoBE }
+func amdBE(c *Context) backend.Backend  { return c.AMDBE }
 
 // VirusDomain returns the domain a virus targets and its active-core count.
 func (c *Context) VirusDomain(name string) (*platform.Domain, int, error) {
@@ -48,7 +47,11 @@ func (c *Context) VirusDomain(name string) (*platform.Domain, int, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("experiments: unknown virus %q", name)
 	}
-	d, err := spec.bench(c).Platform.Domain(spec.domain)
+	p := c.Juno
+	if spec.be(c) == c.AMDBE {
+		p = c.AMD
+	}
+	d, err := p.Domain(spec.domain)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -56,6 +59,10 @@ func (c *Context) VirusDomain(name string) (*platform.Domain, int, error) {
 }
 
 // Virus generates (or returns the cached) GA result for the named virus.
+// Measurement runs through the platform's backend; the voltage-driven
+// viruses seed their scope from the context seed (+20 for the OC-DSO, +21
+// for the bench scope) exactly as before, so the cache keys stay stable
+// local or remote.
 func (c *Context) Virus(name string) (*ga.Result, error) {
 	c.mu.Lock()
 	if res, ok := c.viruses[name]; ok {
@@ -68,26 +75,27 @@ func (c *Context) Virus(name string) (*ga.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown virus %q", name)
 	}
-	b := spec.bench(c)
-	d, err := b.Platform.Domain(spec.domain)
+	be := spec.be(c)
+	caps, err := be.Caps(spec.domain)
 	if err != nil {
 		return nil, err
 	}
-	cfg := c.gaConfig(d)
-	var m ga.Measurer
-	if spec.em {
-		m = b.EMMeasurer(d, spec.cores)
-	} else {
-		var dso *instrument.DSO
-		switch d.Spec.VoltageVisibility {
+	cfg := c.gaConfig(caps.Pool())
+	mspec := backend.MeasurerSpec{Domain: spec.domain, Metric: backend.MetricEM, ActiveCores: spec.cores}
+	if !spec.em {
+		mspec.Metric = backend.MetricDroop
+		switch caps.VoltageVisibility {
 		case "oc-dso":
-			dso = instrument.NewOCDSO(c.Opts.Seed + 20)
+			mspec.DSOSeed = c.Opts.Seed + 20
 		case "kelvin-pads":
-			dso = instrument.NewBenchScope(c.Opts.Seed + 21)
+			mspec.DSOSeed = c.Opts.Seed + 21
 		default:
 			return nil, fmt.Errorf("experiments: virus %q needs voltage visibility on %s", name, spec.domain)
 		}
-		m = b.DroopMeasurer(d, spec.cores, dso)
+	}
+	m, err := be.Measurer(mspec)
+	if err != nil {
+		return nil, err
 	}
 	res, err := ga.Run(cfg, m, nil)
 	if err != nil {

@@ -158,14 +158,27 @@ func putAcc(acc []float64) {
 	accPool.Put(&acc)
 }
 
+// BinCenters returns the center frequencies of n RBW bins starting at
+// startHz. It is the single definition of the analyzer's frequency grid:
+// capture uses it to label sweeps, and the lab client uses it to
+// reconstruct a remote sweep's Freqs from (n, startHz, rbwHz) alone —
+// bit-identically, because both sides evaluate the same expression on the
+// same operands.
+func BinCenters(startHz, rbwHz float64, n int) []float64 {
+	freqs := make([]float64, n)
+	for b := 0; b < n; b++ {
+		freqs[b] = startHz + (float64(b)+0.5)*rbwHz
+	}
+	return freqs
+}
+
 // capture is the noise-source-explicit sweep used by Capture and MeasurePeak.
 func (sa *SpectrumAnalyzer) capture(freqs, watts []float64, rng *rand.Rand) *Sweep {
 	acc := sa.rebin(freqs, watts)
 	nBins := len(acc)
-	sweep := &Sweep{Freqs: make([]float64, nBins), DBm: make([]float64, nBins)}
+	sweep := &Sweep{Freqs: BinCenters(sa.StartHz, sa.RBWHz, nBins), DBm: make([]float64, nBins)}
 	floor := dsp.FromDBm(sa.NoiseFloorDBm)
 	for b := 0; b < nBins; b++ {
-		sweep.Freqs[b] = sa.StartHz + (float64(b)+0.5)*sa.RBWHz
 		p := acc[b] + floor*(0.5+rng.Float64())
 		sweep.DBm[b] = dsp.DBm(p) + rng.NormFloat64()*sa.NoiseSigmaDB
 	}

@@ -251,7 +251,7 @@ func (c *Client) exchange(cmd command) (string, error) {
 	if err := c.w.Flush(); err != nil {
 		return "", &transportError{op: cmd.verb + " send", err: err}
 	}
-	line, err := readLine(c.r)
+	line, err := readLineN(c.r, maxReplyLen)
 	if err != nil {
 		return "", &transportError{op: cmd.verb + " receive", err: err}
 	}

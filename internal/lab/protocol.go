@@ -14,7 +14,7 @@
 // `ERR` replies are never retried — the command reached the target and was
 // rejected; only stream integrity failures are.
 //
-// Protocol (requests are single lines; the program body follows LOAD):
+// Protocol v1 (requests are single lines; the program body follows LOAD):
 //
 //	LOAD <domain> <cores> <lines>   + <lines> lines of assembly
 //	RUN                             start the loaded workload
@@ -29,15 +29,46 @@
 //	INFO                            platform and domain inventory
 //	QUIT                            close the session (replies "OK bye")
 //
+// Protocol v2 adds the commands the backend layer (internal/backend)
+// needs to drive a remote rig exactly like a local bench. Versions are
+// negotiated with HELLO: a v1 daemon answers "ERR unknown command" and the
+// client falls back to the v1 subset (enough for gahunt's EM loop), so old
+// targets keep serving while new ones unlock the full surface:
+//
+//	HELLO <version>                 → OK <serverVersion> <platform>
+//	CAPS <domain>                   → OK <cores> <arch> <maxHz> <stepHz>
+//	                                     <visibility> <dsoKind> <lineage>
+//	STATE <domain>                  → OK <clockHz> <supplyV> <powered>
+//	SWEEPFULL <domain> <cores> <samples>
+//	                                → OK <resHz> <peakLoopHz> <peakDBm> <n>
+//	                                     then n × "<clock> <loop> <dbm>"
+//	                                     inline on the same reply line
+//	VMINFULL <seed> <repeats>       → OK <vmin> <margin> <droop> <outcome>
+//	                                     <n> <v1> ... <vn>   (loaded slot)
+//	SHMOO <seed> <clock>...         → OK <n> then n × "<clock> <vmin>
+//	                                     <margin> <outcome>" (loaded slot)
+//	VMEASURE <metric> <samples> <dsoseed>
+//	                                → OK <fitness> <domHz>  (running slot;
+//	                                     metric em|droop|ptp)
+//	MONITOR <nparts>                + per part a header "<domain> <cores>
+//	                                  <lines> <nphase> [phase...]" and
+//	                                  <lines> program lines
+//	                                → OK <n> <startHz> <rbwHz> <dbm...>
+//	STATS <domain>                  → OK <quoted eval-stats string>
+//
 // Responses are "OK ..." or "ERR <message>". An ERR reply leaves the
-// session usable; a malformed line (or one longer than maxLineLen) closes
-// it. The loaded/running workload slot is per connection — concurrent
-// sessions each own their own slot and the daemon serializes conflicting
-// domain access internally — so N pooled clients can interleave
-// LOAD/RUN/MEASURE cycles without clobbering each other.
+// session usable; a malformed line (or one longer than the limit) closes
+// it. Requests stay under maxLineLen; v2 replies may carry a whole sweep
+// or spectrum on one line and are bounded by the larger maxReplyLen —
+// single-line replies keep every command a strict request/response pair,
+// which is what makes retry-after-reconnect trivially safe. The
+// loaded/running workload slot is per connection — concurrent sessions
+// each own their own slot and the daemon serializes conflicting domain
+// access internally — so N pooled clients can interleave LOAD/RUN/MEASURE
+// cycles without clobbering each other.
 //
 // All commands are idempotent (LOAD replaces the slot, RUN/STOP set a
-// flag, SETx write absolute setpoints, MEASURE/SWEEP/VMIN are
+// flag, SETx write absolute setpoints, the measurement verbs are
 // content-deterministic reads — see internal/detrand), which is what makes
 // the client's retry-after-reconnect safe even when a reply was lost after
 // the target executed the command.
@@ -56,13 +87,20 @@ const (
 	replyErr = "ERR"
 )
 
+// ProtocolVersion is the protocol revision this package speaks. Version 2
+// added the backend-layer verbs (HELLO/CAPS/STATE/SWEEPFULL/VMINFULL/
+// SHMOO/VMEASURE/MONITOR/STATS); the v1 subset is still served unchanged.
+const ProtocolVersion = 2
+
 // Protocol hard limits: a LOAD body may declare at most maxProgramLines
-// lines, and no single line (command, program or reply) may exceed
-// maxLineLen bytes — a peer that sends more is desynced or hostile and the
-// connection is closed rather than buffering without bound.
+// lines, and no single request or program line may exceed maxLineLen
+// bytes — a peer that sends more is desynced or hostile and the connection
+// is closed rather than buffering without bound. Replies get the larger
+// maxReplyLen because v2 ships whole sweeps and spectra on one line.
 const (
 	maxProgramLines = 10000
 	maxLineLen      = 1 << 16
+	maxReplyLen     = 1 << 20
 )
 
 // writeLine sends one protocol line.
@@ -77,12 +115,18 @@ func writeLine(w *bufio.Writer, format string, args ...any) error {
 // longer than maxLineLen are an error: the stream cannot be resynchronized
 // past an oversized line, so callers must drop the connection.
 func readLine(r *bufio.Reader) (string, error) {
+	return readLineN(r, maxLineLen)
+}
+
+// readLineN is readLine with an explicit length bound; the client reads
+// replies under maxReplyLen while the server holds requests to maxLineLen.
+func readLineN(r *bufio.Reader, limit int) (string, error) {
 	var b strings.Builder
 	for {
 		frag, err := r.ReadSlice('\n')
 		b.Write(frag)
-		if b.Len() > maxLineLen {
-			return "", fmt.Errorf("lab: line exceeds %d bytes", maxLineLen)
+		if b.Len() > limit {
+			return "", fmt.Errorf("lab: line exceeds %d bytes", limit)
 		}
 		if err == bufio.ErrBufferFull {
 			continue
@@ -128,6 +172,17 @@ func intField(fields []string, i int, what string) (int, error) {
 		return 0, fmt.Errorf("lab: missing %s field", what)
 	}
 	v, err := strconv.Atoi(fields[i])
+	if err != nil {
+		return 0, fmt.Errorf("lab: bad %s %q", what, fields[i])
+	}
+	return v, nil
+}
+
+func int64Field(fields []string, i int, what string) (int64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("lab: missing %s field", what)
+	}
+	v, err := strconv.ParseInt(fields[i], 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("lab: bad %s %q", what, fields[i])
 	}

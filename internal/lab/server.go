@@ -289,6 +289,24 @@ func (s *Server) dispatch(sess *session, r *bufio.Reader, w *bufio.Writer, line 
 		return false, s.cmdSetCores(w, fields)
 	case "RESET":
 		return false, s.cmdReset(w, fields)
+	case "HELLO":
+		return false, s.cmdHello(w, fields)
+	case "CAPS":
+		return false, s.cmdCaps(w, fields)
+	case "STATE":
+		return false, s.cmdState(w, fields)
+	case "SWEEPFULL":
+		return false, s.cmdSweepFull(w, fields)
+	case "VMINFULL":
+		return false, s.cmdVminFull(sess, w, fields)
+	case "SHMOO":
+		return false, s.cmdShmoo(sess, w, fields)
+	case "VMEASURE":
+		return false, s.cmdVMeasure(sess, w, fields)
+	case "MONITOR":
+		return false, s.cmdMonitor(r, w, fields)
+	case "STATS":
+		return false, s.cmdStats(w, fields)
 	default:
 		return false, fmt.Errorf("unknown command %q", verb)
 	}

@@ -1,0 +1,288 @@
+package lab
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab/chaos"
+	"repro/internal/platform"
+	"repro/internal/vmin"
+	"repro/internal/workload"
+)
+
+// TestHelloNegotiation: a v2 daemon answers HELLO with its version and
+// platform; the negotiated version is the minimum of both sides.
+func TestHelloNegotiation(t *testing.T) {
+	addr, b := startServer(t)
+	c := dial(t, addr)
+	defer c.Close()
+
+	ver, name, err := c.Hello(ProtocolVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != ProtocolVersion {
+		t.Fatalf("negotiated %d, want %d", ver, ProtocolVersion)
+	}
+	if name != b.Platform.Name {
+		t.Fatalf("platform %q, want %q", name, b.Platform.Name)
+	}
+	// A future client is negotiated down to the server's version.
+	if ver, _, err = c.Hello(99); err != nil || ver != ProtocolVersion {
+		t.Fatalf("Hello(99) = %d, %v; want %d", ver, err, ProtocolVersion)
+	}
+}
+
+// TestCapsAndState: CAPS must mirror the domain spec exactly and STATE the
+// live operating point, with every float round-tripping the wire.
+func TestCapsAndState(t *testing.T) {
+	addr, b := startServer(t)
+	c := dial(t, addr)
+	defer c.Close()
+
+	d, err := b.Platform.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := c.Caps(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := d.Spec
+	if caps.TotalCores != spec.TotalCores || caps.Arch != spec.ISA ||
+		caps.MaxClockHz != spec.MaxClockHz || caps.ClockStepHz != spec.ClockStepHz ||
+		caps.VoltageVisibility != spec.VoltageVisibility || caps.DSOKind != "oc-dso" {
+		t.Fatalf("caps %+v do not mirror spec %+v", caps, spec)
+	}
+	if caps.Lineage {
+		t.Fatal("remote caps claim lineage support; checkpoints cannot cross the wire")
+	}
+
+	if err := c.SetClock(platform.DomainA72, 600e6); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.State(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ClockHz != 600e6 || st.SupplyV != d.Spec.PDN.VNominal || st.PoweredCores != spec.TotalCores {
+		t.Fatalf("state %+v after SETCLOCK 600e6", st)
+	}
+	if _, err := c.Caps("no-such-domain"); err == nil || !IsTargetError(err) {
+		t.Fatalf("CAPS on unknown domain: %v", err)
+	}
+	if _, err := c.State("no-such-domain"); err == nil || !IsTargetError(err) {
+		t.Fatalf("STATE on unknown domain: %v", err)
+	}
+}
+
+// TestV2ProtocolErrors drives the new verbs with malformed arguments over
+// a raw connection; each must produce a single ERR line and leave the
+// session aligned.
+func TestV2ProtocolErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	rc := rawDial(t, addr)
+
+	cases := []string{
+		"HELLO",
+		"HELLO zero",
+		"CAPS",
+		"STATE",
+		"SWEEPFULL cortex-a72 2",
+		"SWEEPFULL cortex-a72 2 0",
+		"SWEEPFULL cortex-a72 2 1001",
+		"VMINFULL 1",      // missing repeats
+		"VMINFULL 1 3",    // nothing loaded
+		"SHMOO 1 6e8",     // nothing loaded
+		"VMEASURE em 3 1", // nothing running
+		"VMEASURE what 3 1",
+		"MONITOR",
+		"MONITOR 0",
+		"MONITOR 17",
+		"STATS",
+		"STATS no-such-domain",
+	}
+	for _, cmd := range cases {
+		if reply := rc.send(cmd); !strings.HasPrefix(reply, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", cmd, reply)
+		}
+	}
+	// The session survived every rejection.
+	if reply := rc.send("INFO"); !strings.HasPrefix(reply, "OK juno") {
+		t.Fatalf("session desynced: INFO -> %q", reply)
+	}
+}
+
+// TestChaosSweepAndShmooMatchDirect is the satellite acceptance test: the
+// fast resonance sweep and a short V_MIN shmoo executed through a chaos
+// proxy injecting seeded drops and garbles must be bit-identical to the
+// same operations on a clean in-process bench.
+func TestChaosSweepAndShmooMatchDirect(t *testing.T) {
+	// Direct references.
+	db, dd := directBench(t)
+	want, err := db.FastResonanceSweep(dd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := dd.Spec.Pool()
+	seq, err := workload.Probe().Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := platform.Load{Seq: seq, ActiveCores: 2}
+	steps := dd.ClockSteps()
+	clocks := []float64{steps[len(steps)-1], steps[len(steps)/2], steps[0]}
+	tester := vmin.NewTester(dd, 7)
+	wantShmoo, err := tester.Shmoo(load, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVmin, wantRuns, err := vmin.NewTester(dd, 7).Repeat(load, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote run through seeded chaos.
+	addr, _ := startServer(t)
+	// Higher fault rates than the GA test: this exchange is only a
+	// handful of commands, so mild rates can pass it untouched and make
+	// the vacuity check below flaky.
+	proxy, err := chaos.New(addr, chaos.Config{
+		Seed:       42,
+		DropRate:   0.25,
+		GarbleRate: 0.2,
+		DelayRate:  0.01,
+		Delay:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := DialOptions(proxy.Addr(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.SweepFull(platform.DomainA72, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos sweep diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	if err := c.Load(platform.DomainA72, 2, pool, seq); err != nil {
+		t.Fatal(err)
+	}
+	gotShmoo, err := c.Shmoo(7, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotShmoo, wantShmoo) {
+		t.Fatalf("chaos shmoo diverged:\n got %+v\nwant %+v", gotShmoo, wantShmoo)
+	}
+
+	full, err := c.VminFull(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.VminV != wantVmin.VminV || full.MarginV != wantVmin.MarginV ||
+		full.DroopNominalV != wantVmin.DroopNominalV || full.Outcome != wantVmin.Outcome {
+		t.Fatalf("chaos vmin %+v != direct %+v", full, wantVmin)
+	}
+	if !reflect.DeepEqual(full.Runs, wantRuns) {
+		t.Fatalf("chaos vmin runs %v != direct %v", full.Runs, wantRuns)
+	}
+
+	cs := proxy.Stats()
+	if cs.Drops+cs.Garbles+cs.Delays == 0 {
+		t.Fatal("chaos proxy injected no faults; test is vacuous")
+	}
+}
+
+// TestMonitorMatchesDirect: a remote MONITOR over both Juno domains must
+// reproduce the local MonitorAll spectrum exactly, frequency grid
+// included.
+func TestMonitorMatchesDirect(t *testing.T) {
+	db, dd := directBench(t)
+	pool := dd.Spec.Pool()
+	probe, err := workload.Probe().Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := workload.ByName("idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleSeq, err := idle.Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := map[string]platform.Load{
+		platform.DomainA72: {Seq: probe, ActiveCores: 2, PhaseCycles: []float64{10, 10}},
+		platform.DomainA53: {Seq: idleSeq, ActiveCores: 4},
+	}
+	want, err := db.MonitorAll(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, _ := startServer(t)
+	c := dial(t, addr)
+	defer c.Close()
+	got, err := c.Monitor([]MonitorPart{
+		{Domain: platform.DomainA53, Cores: 4, Pool: pool, Seq: idleSeq},
+		{Domain: platform.DomainA72, Cores: 2, Pool: pool, Seq: probe, Phases: []float64{10, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("remote MONITOR spectrum diverged from local MonitorAll")
+	}
+}
+
+// TestStatsRoundTrip: STATS must return the exact multi-line counter block
+// the domain renders locally (strconv quoting preserves the newlines).
+func TestStatsRoundTrip(t *testing.T) {
+	addr, b := startServer(t)
+	c := dial(t, addr)
+	defer c.Close()
+
+	// Drive one measurement so the counters are non-trivial.
+	d, err := b.Platform.Domain(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := d.Spec.Pool()
+	seq, err := workload.Probe().Build(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(platform.DomainA72, 2, pool, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Measure(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.DomainStats(platform.DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != d.EvalStats() {
+		t.Fatalf("remote stats:\n%s\nlocal:\n%s", stats, d.EvalStats())
+	}
+	if !strings.Contains(stats, "\n") {
+		t.Fatal("stats lost its line structure on the wire")
+	}
+}

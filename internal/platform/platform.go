@@ -216,8 +216,15 @@ func (d *Domain) SnapClock(hz float64) (float64, error) {
 
 // ClockSteps lists the available clock settings from low to high.
 func (d *Domain) ClockSteps() []float64 {
+	return ClockStepsFor(d.Spec.ClockStepHz, d.Spec.MaxClockHz)
+}
+
+// ClockStepsFor enumerates the clock grid for a (step, max) pair. It is the
+// single definition of the grid so a remote capability record (which carries
+// only the two floats) reproduces a local Domain.ClockSteps bit-exactly.
+func ClockStepsFor(stepHz, maxHz float64) []float64 {
 	var out []float64
-	for f := d.Spec.ClockStepHz; f <= d.Spec.MaxClockHz+1e-6; f += d.Spec.ClockStepHz {
+	for f := stepHz; f <= maxHz+1e-6; f += stepHz {
 		out = append(out, f)
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/isa"
@@ -73,8 +74,29 @@ type VminRecord struct {
 	Outcome  string  `json:"outcome"`
 }
 
-// New starts a report for a domain's current state.
-func New(p *platform.Platform, d *platform.Domain, now time.Time) *Report {
+// New starts a report for a domain's current state as observed through a
+// backend — local bench or remote lab alike, and with identical bytes:
+// the identity and operating-point fields all round-trip the wire
+// losslessly.
+func New(be backend.Backend, domain string, now time.Time) (*Report, error) {
+	st, err := be.State(domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Version:      Version,
+		CreatedAt:    now.UTC().Format(time.RFC3339),
+		Platform:     be.PlatformName(),
+		Domain:       domain,
+		ClockHz:      st.ClockHz,
+		SupplyV:      st.SupplyV,
+		PoweredCores: st.PoweredCores,
+	}, nil
+}
+
+// NewLocal starts a report directly from an in-process platform/domain
+// pair; it is New over a Local backend without needing one constructed.
+func NewLocal(p *platform.Platform, d *platform.Domain, now time.Time) *Report {
 	return &Report{
 		Version:      Version,
 		CreatedAt:    now.UTC().Format(time.RFC3339),

@@ -28,7 +28,7 @@ func buildReport(t *testing.T) (*Report, *platform.Domain) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := New(p, d, time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
+	rep := NewLocal(p, d, time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
 
 	sweep, err := b.FastResonanceSweep(d, 2)
 	if err != nil {

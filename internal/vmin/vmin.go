@@ -51,6 +51,23 @@ func (k FailureKind) String() string {
 	}
 }
 
+// ParseKind is the inverse of FailureKind.String, used to round-trip
+// outcomes over the lab wire protocol.
+func ParseKind(s string) (FailureKind, error) {
+	switch s {
+	case "pass":
+		return Pass, nil
+	case "sdc":
+		return SDC, nil
+	case "app-crash":
+		return AppCrash, nil
+	case "system-crash":
+		return SystemCrash, nil
+	default:
+		return 0, fmt.Errorf("vmin: unknown outcome %q", s)
+	}
+}
+
 // Tester runs V_MIN searches against one voltage domain.
 type Tester struct {
 	Domain *platform.Domain
