@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all build test tier1 tier1-remote race vet bench bench-all bench-compare chaos fmt
+.PHONY: all build test tier1 tier1-remote race vet bench bench-all bench-compare perf-gate chaos fmt
 
 all: build test
 
@@ -48,7 +48,7 @@ vet:
 # and lineage evaluation), recorded as $(BENCH_OUT) for regression diffing:
 #   make bench BENCH_OUT=BENCH_pr5.json
 bench:
-	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage' \
+	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage|BenchmarkGenerationBatch' \
 		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Diff two benchmark reports; exits nonzero if any benchmark present in
@@ -58,6 +58,14 @@ OLD ?= BENCH_pr3.json
 NEW ?= $(BENCH_OUT)
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# One-shot perf gate: record the current head's hot-path numbers and diff
+# them against the last checked-in baseline (fails on a >20% ns/op
+# regression, and prints the cross-PR trajectory table on success):
+#   make perf-gate
+perf-gate:
+	$(MAKE) bench BENCH_OUT=BENCH_head.json
+	$(MAKE) bench-compare OLD=BENCH_pr4.json NEW=BENCH_head.json
 
 # The full benchmark suite, one iteration each (smoke).
 bench-all:

@@ -1,0 +1,163 @@
+package emnoise
+
+// Bit-identity tests for generation-batched evaluation: the batch path
+// (dedup + measurement memo + slab arenas) must produce exactly the bytes
+// the per-individual path produces, at any parallelism. `go test -race`
+// over this file also drives the batch workers under the race detector.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ga"
+)
+
+// scalarOnly forwards a bench measurer's per-individual methods while
+// hiding MeasureBatch, forcing the GA onto the scalar fallback path.
+type scalarOnly struct{ m Measurer }
+
+func (s scalarOnly) Measure(seq []Inst) (float64, float64, error) { return s.m.Measure(seq) }
+
+func (s scalarOnly) MeasureLineage(seq []Inst, lin *ga.Lineage) (float64, float64, error) {
+	return s.m.(ga.LineageMeasurer).MeasureLineage(seq, lin)
+}
+
+// batchGARun executes a small GA on a fresh platform, optionally forcing
+// the scalar path, and returns the result plus the bench for stats checks.
+func batchGARun(t *testing.T, parallelism int, scalar bool) (*GAResult, *Bench) {
+	t.Helper()
+	plat, err := JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := NewBench(plat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench.Samples = 3
+	d, err := plat.Domain(DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGAConfig(d.Spec.Pool())
+	cfg.PopulationSize = 14
+	cfg.Generations = 7
+	cfg.Seed = 11
+	cfg.Parallelism = parallelism
+	var m Measurer = bench.EMMeasurer(d, 2)
+	if scalar {
+		m = scalarOnly{m: m}
+	}
+	res, err := RunGA(cfg, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, bench
+}
+
+// TestBatchMatchesScalarGA pins the tentpole guarantee: a GA run through
+// MeasureBatch is bit-for-bit the run through per-individual Measure calls
+// — same best, same history, same final population — at serial and
+// parallel worker counts.
+func TestBatchMatchesScalarGA(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		scalarRes, scalarBench := batchGARun(t, parallelism, true)
+		batchRes, batchBench := batchGARun(t, parallelism, false)
+		if bs := scalarBench.BatchStats(); bs.Batches != 0 {
+			t.Fatalf("j=%d: scalar run used the batch path: %+v", parallelism, bs)
+		}
+		if bs := batchBench.BatchStats(); bs.Batches == 0 {
+			t.Fatalf("j=%d: batch run never used the batch path", parallelism)
+		}
+		if !reflect.DeepEqual(scalarRes.Best, batchRes.Best) {
+			t.Errorf("j=%d: best differs:\nscalar %+v\nbatch  %+v", parallelism, scalarRes.Best, batchRes.Best)
+		}
+		if !reflect.DeepEqual(scalarRes.History, batchRes.History) {
+			t.Errorf("j=%d: generation history differs between scalar and batch", parallelism)
+		}
+		if !reflect.DeepEqual(scalarRes.FinalPopulation, batchRes.FinalPopulation) {
+			t.Errorf("j=%d: final population differs between scalar and batch", parallelism)
+		}
+	}
+}
+
+// TestMeasureBatchMatchesScalarRandomPopulations is the direct property
+// test: random populations salted with exact duplicates and with bred
+// (lineage-carrying) children must come back element-for-element identical
+// to scalar MeasureLineage calls, at -j 1 and -j 8, with every duplicate
+// fanned out from one measurement.
+func TestMeasureBatchMatchesScalarRandomPopulations(t *testing.T) {
+	plat, err := JunoR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := NewBench(plat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench.Samples = 3
+	d, err := plat.Domain(DomainA72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := d.Spec.Pool()
+	m := bench.EMMeasurer(d, 2)
+	bm, ok := m.(ga.BatchMeasurer)
+	if !ok {
+		t.Fatal("bench EM measurer does not implement ga.BatchMeasurer")
+	}
+	lm := m.(ga.LineageMeasurer)
+
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 3; trial++ {
+		var items []ga.BatchItem
+		for i := 0; i < 6; i++ {
+			parent := pool.RandomSequence(rng, 12)
+			items = append(items, ga.BatchItem{Seq: parent})
+			// A bred child: shares the parent's prefix, carries a lineage
+			// hint pointing at the divergence index.
+			div := 4 + rng.Intn(6)
+			child := append([]Inst(nil), parent...)
+			child[div] = pool.RandomInst(rng)
+			items = append(items, ga.BatchItem{Seq: child, Lin: &ga.Lineage{Diverge: div}})
+			// An exact duplicate of the parent (a converged clone).
+			items = append(items, ga.BatchItem{Seq: append([]Inst(nil), parent...)})
+		}
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+
+		want := make([]ga.BatchResult, len(items))
+		for i, it := range items {
+			fit, dom, err := lm.MeasureLineage(it.Seq, it.Lin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = ga.BatchResult{Fitness: fit, DominantHz: dom}
+		}
+		for _, parallelism := range []int{1, 8} {
+			got, err := bm.MeasureBatch(items, parallelism)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(items) {
+				t.Fatalf("trial %d j=%d: %d results for %d items", trial, parallelism, len(got), len(items))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("trial %d j=%d item %d: batch %+v, scalar %+v",
+						trial, parallelism, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	bs := bench.BatchStats()
+	if bs.DedupHits == 0 {
+		t.Errorf("duplicate-salted populations produced no dedup hits: %+v", bs)
+	}
+	if bs.MemoHits == 0 {
+		t.Errorf("repeated batches produced no memo hits: %+v", bs)
+	}
+	if bs.Measured+bs.DedupHits+bs.MemoHits != bs.Items {
+		t.Errorf("batch accounting leak: %+v", bs)
+	}
+}

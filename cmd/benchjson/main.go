@@ -16,7 +16,9 @@
 // prints the ns/op and allocs/op deltas for every benchmark present in
 // both files and exits nonzero if any of them regressed by more than 20%
 // in ns/op. New and dropped benchmarks are reported but never fail the
-// comparison.
+// comparison. A passing comparison also emits a markdown trajectory table
+// of ns/op across every checked-in BENCH_*.json, so a PR's perf claim
+// reads as a history rather than a single diff.
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -300,5 +303,86 @@ func runCompare(oldPath, newPath string) int {
 		return 1
 	}
 	fmt.Println("ok: no benchmark regressed past the limit")
+	writeTrajectory(oldPath, newPath)
 	return 0
+}
+
+// writeTrajectory prints a markdown table of ns/op for every benchmark
+// across all checked-in BENCH_*.json reports (plus the two just compared,
+// if they live elsewhere), so a PR's perf claim reads as a trajectory
+// rather than a single diff. Purely informational: parse problems are
+// skipped, never fatal.
+func writeTrajectory(extra ...string) {
+	paths, _ := filepath.Glob("BENCH_*.json")
+	for _, e := range extra {
+		found := false
+		for _, p := range paths {
+			if p == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			paths = append(paths, e)
+		}
+	}
+	// Checked-in baselines in name order, transient head snapshots last.
+	sort.Slice(paths, func(i, j int) bool {
+		hi := strings.Contains(paths[i], "head")
+		hj := strings.Contains(paths[j], "head")
+		if hi != hj {
+			return hj
+		}
+		return paths[i] < paths[j]
+	})
+	type col struct {
+		label string
+		by    map[string]Entry
+	}
+	var cols []col
+	var order []string
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			continue
+		}
+		by := make(map[string]Entry, len(rep.Benchmarks))
+		for _, e := range merge(rep.Benchmarks) {
+			by[e.Name] = e
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				order = append(order, e.Name)
+			}
+		}
+		label := strings.TrimSuffix(filepath.Base(p), ".json")
+		cols = append(cols, col{label: label, by: by})
+	}
+	if len(cols) < 2 {
+		return
+	}
+	fmt.Println("\n### Benchmark trajectory (ns/op)")
+	fmt.Println()
+	header, sep := "| benchmark |", "|---|"
+	for _, c := range cols {
+		header += " " + c.label + " |"
+		sep += "---:|"
+	}
+	fmt.Println(header)
+	fmt.Println(sep)
+	for _, name := range order {
+		row := "| " + strings.TrimPrefix(name, "Benchmark") + " |"
+		for _, c := range cols {
+			if e, ok := c.by[name]; ok {
+				row += fmt.Sprintf(" %.0f |", e.NsPerOp)
+			} else {
+				row += " - |"
+			}
+		}
+		fmt.Println(row)
+	}
 }

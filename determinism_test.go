@@ -342,9 +342,12 @@ func TestCheckpointHitsDuringGA(t *testing.T) {
 	})
 }
 
-// TestSpectraCacheHitsDuringGA checks the memoization layer earns its keep:
-// a GA run re-measures elites and converged duplicates, so the spectra
-// cache must serve a nonzero share of lookups.
+// TestSpectraCacheHitsDuringGA checks the memoization layers earn their
+// keep: a GA run re-measures elites and converged duplicates, and with
+// generation-batched evaluation those repeats are absorbed by the bench's
+// dedup + measurement memo before they ever reach the spectra cache — so
+// the batch counters must show the repeat traffic, and every individual
+// must be accounted for as measured, deduped, or memo-served.
 func TestSpectraCacheHitsDuringGA(t *testing.T) {
 	plat, err := JunoR2()
 	if err != nil {
@@ -367,11 +370,22 @@ func TestSpectraCacheHitsDuringGA(t *testing.T) {
 	if _, err := RunGA(cfg, bench.EMMeasurer(d, 2), nil); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := d.SpectraCacheStats()
+	_, misses, _ := d.SpectraCacheStats()
 	if misses == 0 {
 		t.Fatal("no spectra cache traffic at all")
 	}
-	if hits == 0 {
-		t.Errorf("spectra cache never hit across a GA run (%d misses)", misses)
+	bs := bench.BatchStats()
+	if bs.Batches == 0 || bs.Items == 0 {
+		t.Fatalf("GA run never used batch evaluation: %+v", bs)
+	}
+	if bs.DedupHits+bs.MemoHits == 0 {
+		t.Errorf("no repeat individual was served by dedup or the measurement memo: %+v", bs)
+	}
+	if bs.Measured+bs.DedupHits+bs.MemoHits != bs.Items {
+		t.Errorf("batch accounting leak: measured %d + dedup %d + memo %d != items %d",
+			bs.Measured, bs.DedupHits, bs.MemoHits, bs.Items)
+	}
+	if bs.ArenaBytes == 0 {
+		t.Errorf("batch evaluation reported zero arena high-water")
 	}
 }

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/em"
+	"repro/internal/ga"
+	"repro/internal/par"
+	"repro/internal/platform"
+	"repro/internal/slab"
+)
+
+// BatchStats summarizes the bench's generation-batched EM evaluations for
+// the CLIs' -v output.
+type BatchStats struct {
+	Batches    uint64 // MeasureBatch calls
+	Items      uint64 // individuals across all batches
+	Measured   uint64 // individuals actually measured after dedup + memo
+	DedupHits  uint64 // individuals served by an identical batchmate
+	MemoHits   uint64 // individuals served by the cross-generation memo
+	ArenaBytes uint64 // high-water slab bytes across one batch's workers
+}
+
+// String renders the stats as the one-line summary the CLIs print.
+func (s BatchStats) String() string {
+	return fmt.Sprintf("batch eval: %d batches / %d items (%d measured), %d dedup hits / %d memo hits, arena high-water %d B",
+		s.Batches, s.Items, s.Measured, s.DedupHits, s.MemoHits, s.ArenaBytes)
+}
+
+// batchMemoCap bounds the cross-generation measurement memo (mirrors the
+// spectra cache's sizing: a few generations of a large population).
+const batchMemoCap = 512
+
+// batchMemoKey identifies a finished EM measurement by content, exactly the
+// way the spectra cache keys its entries: the load's content hash plus
+// everything else the measured value depends on. Entries are tiny (two
+// floats), so memoized repeats — elites re-measured every generation,
+// converged clones — skip the whole pipeline, including the simulator.
+type batchMemoKey struct {
+	load           uint64
+	powered        int
+	clock, supply  float64
+	dt             float64
+	n, samples     int
+	bandLo, bandHi float64
+}
+
+type batchMemoEnt struct {
+	key      batchMemoKey
+	fit, dom float64
+}
+
+// batchState is the per-bench state behind MeasureBatch: the measurement
+// memo, the recycled worker arenas, and the stats counters. It hangs off
+// the Bench as a pointer so re-sampled shallow bench copies share it (the
+// memo key carries the sample count).
+type batchState struct {
+	mu        sync.Mutex
+	memo      map[batchMemoKey]*list.Element
+	order     list.List // front = most recently used *batchMemoEnt
+	arenaPool sync.Pool // *slab.Arena
+
+	batches, items, measured, dedup, memoHits atomic.Uint64
+	arenaBytes                                atomic.Uint64
+}
+
+func newBatchState() *batchState {
+	return &batchState{memo: make(map[batchMemoKey]*list.Element)}
+}
+
+// benchBatchMu guards lazy batch-state creation for benches that were not
+// built by NewBench (zero-value literals in tests).
+var benchBatchMu sync.Mutex
+
+func (b *Bench) batchSt() *batchState {
+	benchBatchMu.Lock()
+	defer benchBatchMu.Unlock()
+	if b.batch == nil {
+		b.batch = newBatchState()
+	}
+	return b.batch
+}
+
+// BatchStats returns the bench's generation-batched evaluation counters.
+func (b *Bench) BatchStats() BatchStats {
+	st := b.batchSt()
+	return BatchStats{
+		Batches:    st.batches.Load(),
+		Items:      st.items.Load(),
+		Measured:   st.measured.Load(),
+		DedupHits:  st.dedup.Load(),
+		MemoHits:   st.memoHits.Load(),
+		ArenaBytes: st.arenaBytes.Load(),
+	}
+}
+
+func (st *batchState) memoGet(k batchMemoKey) (fit, dom float64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.memo[k]
+	if !ok {
+		return 0, 0, false
+	}
+	st.order.MoveToFront(el)
+	ent := el.Value.(*batchMemoEnt)
+	return ent.fit, ent.dom, true
+}
+
+func (st *batchState) memoAdd(k batchMemoKey, fit, dom float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.memo[k]; ok {
+		// A concurrent worker measured the same pure value; keep the first.
+		st.order.MoveToFront(el)
+		return
+	}
+	st.memo[k] = st.order.PushFront(&batchMemoEnt{key: k, fit: fit, dom: dom})
+	for len(st.memo) > batchMemoCap {
+		back := st.order.Back()
+		st.order.Remove(back)
+		delete(st.memo, back.Value.(*batchMemoEnt).key)
+	}
+}
+
+func (st *batchState) getArena() *slab.Arena {
+	if ar, _ := st.arenaPool.Get().(*slab.Arena); ar != nil {
+		return ar
+	}
+	return &slab.Arena{}
+}
+
+func (st *batchState) putArena(ar *slab.Arena) {
+	ar.Reset()
+	st.arenaPool.Put(ar)
+}
+
+// MeasureBatch implements ga.BatchMeasurer: one call evaluates the whole
+// generation with intra-batch dedup, the cross-generation memo and slab
+// arenas, bit-identical to per-individual Measure calls at any parallelism.
+func (m emMeasurer) MeasureBatch(items []ga.BatchItem, parallelism int) ([]ga.BatchResult, error) {
+	return m.b.emMeasureBatch(m.d, items, m.activeCores, m.b.Samples, parallelism)
+}
+
+func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeCores, samples, parallelism int) ([]ga.BatchResult, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("core: %d samples", samples)
+	}
+	st := b.batchSt()
+	results := make([]ga.BatchResult, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+
+	// One operating-point snapshot keys the whole batch. The GA holds the
+	// domain fixed across a generation; re-tuning it mid-batch is outside
+	// the contract, just as it is for a half-measured scalar generation.
+	clock, supply, powered := d.ClockHz(), d.SupplyVolts(), d.PoweredCores()
+
+	// Dedup identical post-mutation children by content hash: at a fixed
+	// operating point the measured value is a pure function of the sequence
+	// (instrument noise is content-derived, never order- or index-derived),
+	// so one measurement fans out to every duplicate bit-identically. The
+	// memo then carries results across generations — elites re-measured
+	// every generation, clones of already-measured parents — under the same
+	// 64-bit content key the spectra cache already trusts.
+	firstOf := make(map[uint64]int, len(items))
+	dupOf := make([]int, len(items))
+	keys := make([]batchMemoKey, len(items))
+	work := make([]int, 0, len(items))
+	var dedup, memoHits uint64
+	for i := range items {
+		h := platform.Load{Seq: items[i].Seq, ActiveCores: activeCores}.Hash()
+		keys[i] = batchMemoKey{load: h, powered: powered, clock: clock, supply: supply,
+			dt: b.Dt, n: b.N, samples: samples, bandLo: b.Band.Lo, bandHi: b.Band.Hi}
+		if j, ok := firstOf[h]; ok {
+			dupOf[i] = j
+			dedup++
+			continue
+		}
+		firstOf[h] = i
+		dupOf[i] = -1
+		if fit, dom, ok := st.memoGet(keys[i]); ok {
+			results[i] = ga.BatchResult{Fitness: fit, DominantHz: dom}
+			memoHits++
+			continue
+		}
+		work = append(work, i)
+	}
+
+	// Each worker slot owns one arena for the whole batch: rows live for a
+	// single individual and the per-item Reset rewinds them in O(1), so the
+	// arena's footprint is one individual's slab set, retained across
+	// batches via the pool.
+	workers := par.Workers(parallelism)
+	if workers > len(work) {
+		workers = len(work)
+	}
+	arenas := make([]*slab.Arena, workers)
+	for w := range arenas {
+		arenas[w] = st.getArena()
+	}
+	err := par.ForEachWorker(parallelism, len(work), func(w, k int) error {
+		i := work[k]
+		ar := arenas[w]
+		ar.Reset()
+		l := platform.Load{Seq: items[i].Seq, ActiveCores: activeCores}
+		freqs, _, iAmp, _, err := d.SpectraLineageArena(l, b.Dt, b.N, uarchLineage(items[i].Lin), ar)
+		if err != nil {
+			return err
+		}
+		watts := ar.FloatsUninit(len(freqs)) // CombineInto clears before folding
+		if _, err := em.CombineInto(watts, b.Platform.Antenna, []em.Emitter{
+			{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
+		}); err != nil {
+			return err
+		}
+		meas, err := b.Analyzer.MeasurePeak(freqs, watts, b.Band.Lo, b.Band.Hi, samples)
+		if err != nil {
+			return err
+		}
+		results[i] = ga.BatchResult{Fitness: meas.PeakDBm, DominantHz: meas.PeakHz}
+		st.memoAdd(keys[i], meas.PeakDBm, meas.PeakHz)
+		return nil
+	})
+	var arenaTotal uint64
+	for _, ar := range arenas {
+		arenaTotal += uint64(ar.HighWater())
+		st.putArena(ar)
+	}
+	st.batches.Add(1)
+	st.items.Add(uint64(len(items)))
+	st.measured.Add(uint64(len(work)))
+	st.dedup.Add(dedup)
+	st.memoHits.Add(memoHits)
+	for {
+		cur := st.arenaBytes.Load()
+		if arenaTotal <= cur || st.arenaBytes.CompareAndSwap(cur, arenaTotal) {
+			break
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range items {
+		if j := dupOf[i]; j >= 0 {
+			results[i] = results[j]
+		}
+	}
+	return results, nil
+}

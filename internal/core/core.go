@@ -54,6 +54,11 @@ type Bench struct {
 	// (FastResonanceSweep); 0 or 1 runs serially. Results are identical at
 	// any setting.
 	Parallelism int
+
+	// batch holds the generation-batched evaluation state (measurement memo,
+	// worker arenas, counters). A pointer so shallow bench copies — the
+	// backends' per-request re-sampled views — share one state; see batch.go.
+	batch *batchState
 }
 
 // NewBench assembles a bench with the paper's defaults: an E4402B-class
@@ -74,6 +79,7 @@ func NewBench(p *platform.Platform, seed int64) (*Bench, error) {
 		Samples:  30,
 		Dt:       0.25e-9,
 		N:        8192,
+		batch:    newBatchState(),
 	}, nil
 }
 

@@ -98,6 +98,39 @@ func rfftPlanFor(n int) *rfftPlan {
 	return p
 }
 
+// rfftEven is the even-length transform core shared by RFFT and RFFTInto:
+// pack x into the m-point work buffer z, transform, untangle into out
+// (length m+1). The untangle loop is written without the modular indexing of
+// the textbook formulation — bins 0 and m both read Z[0], interior bins read
+// Z[k] and Z[m-k] directly — with arithmetic identical operation for
+// operation, so the results are bit-identical.
+func rfftEven(out []complex128, x []float64, z []complex128, p *rfftPlan) {
+	m := len(x) / 2
+	for j := 0; j < m; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	Z := z
+	if m&(m-1) == 0 {
+		fftRadix2(Z, false)
+	} else {
+		Z = bluestein(Z, false)
+	}
+	w := p.w
+	z0 := Z[0]
+	c0 := cmplx.Conj(z0)
+	e0 := (z0 + c0) * 0.5
+	o0 := (z0 - c0) * complex(0, -0.5)
+	out[0] = e0 + w[0]*o0
+	for k := 1; k < m; k++ {
+		zk := Z[k]
+		zmk := cmplx.Conj(Z[m-k])
+		e := (zk + zmk) * 0.5
+		o := (zk - zmk) * complex(0, -0.5)
+		out[k] = e + w[k]*o
+	}
+	out[m] = e0 + w[m]*o0
+}
+
 // RFFT transforms a real signal and returns the non-redundant half spectrum,
 // bins 0..N/2 inclusive (the remaining bins of the full transform are the
 // conjugate mirror). Even lengths cost one N/2-point complex transform; odd
@@ -112,29 +145,48 @@ func RFFT(x []float64) []complex128 {
 		spec := FFTReal(x)
 		return spec[:half:half]
 	}
-	m := n / 2
 	p := rfftPlanFor(n)
 	zptr := p.scratch.Get().(*[]complex128)
-	z := *zptr
-	for j := 0; j < m; j++ {
-		z[j] = complex(x[2*j], x[2*j+1])
-	}
-	Z := z
-	if m&(m-1) == 0 {
-		fftRadix2(Z, false)
-	} else {
-		Z = bluestein(Z, false)
-	}
 	out := GetSpectrum(half)
-	for k := 0; k <= m; k++ {
-		zk := Z[k%m]
-		zmk := cmplx.Conj(Z[(m-k)%m])
-		e := (zk + zmk) * 0.5
-		o := (zk - zmk) * complex(0, -0.5)
-		out[k] = e + p.w[k]*o
-	}
+	rfftEven(out, x, *zptr, p)
 	p.scratch.Put(zptr)
 	return out
+}
+
+// RFFTScratchLen returns the scratch length RFFTInto needs for a real
+// transform of length n (zero for odd lengths, which use the fallback path).
+func RFFTScratchLen(n int) int {
+	if n%2 != 0 {
+		return 0
+	}
+	return n / 2
+}
+
+// RFFTInto is RFFT writing the half spectrum into dst — len(dst) must be
+// n/2+1 — using a caller-provided work buffer of at least RFFTScratchLen(n)
+// entries. Batch pipelines use it to keep whole generations of spectra in
+// one contiguous slab with per-worker scratch instead of drawing both from
+// pools per call. Results are bit-identical to RFFT; dst is returned.
+func RFFTInto(dst []complex128, x []float64, scratch []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return dst[:0]
+	}
+	half := n/2 + 1
+	if len(dst) != half {
+		panic(fmt.Sprintf("dsp: RFFTInto dst of %d bins for length %d (want %d)", len(dst), n, half))
+	}
+	if n%2 != 0 {
+		spec := FFTReal(x)
+		copy(dst, spec[:half])
+		return dst
+	}
+	m := n / 2
+	if len(scratch) < m {
+		panic(fmt.Sprintf("dsp: RFFTInto scratch of %d for length %d (want %d)", len(scratch), n, m))
+	}
+	rfftEven(dst, x, scratch[:m], rfftPlanFor(n))
+	return dst
 }
 
 // IRFFT inverts RFFT: given the half spectrum of a real signal of length n

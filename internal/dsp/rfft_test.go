@@ -148,3 +148,25 @@ func BenchmarkFFTReal8192(b *testing.B) {
 		FFTReal(x)
 	}
 }
+
+// TestRFFTIntoBitIdentical: the slab-row variant must reproduce RFFT bit for
+// bit at every length — the batch evaluation path's bit-identity to the
+// per-individual path rests on it.
+func TestRFFTIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range rfftLengths {
+		x := randSignal(rng, n)
+		want := RFFT(x)
+		dst := make([]complex128, n/2+1)
+		scratch := make([]complex128, RFFTScratchLen(n))
+		got := RFFTInto(dst, x, scratch)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d bins, want %d", n, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d bin %d: RFFTInto %v != RFFT %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}

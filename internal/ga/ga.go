@@ -221,8 +221,29 @@ func Run(cfg Config, m Measurer, progress func(GenerationStats)) (*Result, error
 // workers. Each worker writes only its own index, and the instruments'
 // noise is order-independent, so the measured population is identical at
 // any worker count. Bred individuals carry their lineage to a
-// LineageMeasurer so the backend can resume from the parent's prefix.
+// LineageMeasurer so the backend can resume from the parent's prefix. A
+// BatchMeasurer takes the whole generation in one call instead (dedup,
+// slab scratch); its contract pins the results to the per-individual path.
 func measureAll(pop []Individual, m Measurer, parallelism int) error {
+	if bm, ok := m.(BatchMeasurer); ok {
+		items := make([]BatchItem, len(pop))
+		for i := range pop {
+			items[i] = BatchItem{Seq: pop[i].Seq, Lin: pop[i].lin}
+		}
+		results, err := bm.MeasureBatch(items, parallelism)
+		if err != nil {
+			return err
+		}
+		if len(results) != len(pop) {
+			return fmt.Errorf("ga: batch measurer returned %d results for %d individuals",
+				len(results), len(pop))
+		}
+		for i := range pop {
+			pop[i].Fitness = results[i].Fitness
+			pop[i].DominantHz = results[i].DominantHz
+		}
+		return nil
+	}
 	lm, _ := m.(LineageMeasurer)
 	return par.ForEach(parallelism, len(pop), func(i int) error {
 		var fit, dom float64

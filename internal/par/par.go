@@ -26,6 +26,16 @@ func Workers(n int) int {
 // error returned is the one from the lowest index, regardless of the order
 // in which workers finished.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker scratch (batch
+// evaluation arenas): fn additionally receives the index of the worker slot
+// running the item, in [0, min(workers, n)). Item-to-worker assignment is
+// dynamic, so only scratch state may depend on the worker index — results
+// must not, which the determinism suites pin by running batch paths at
+// several worker counts.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -38,7 +48,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		// error, but since items are visited in index order the error
 		// returned is still the lowest-index one.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -49,16 +59,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(worker, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	for _, err := range errs {

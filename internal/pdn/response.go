@@ -185,13 +185,43 @@ func (ts *TransferSet) Spectra(load []float64) (freqs, vAmp, iAmp []float64, err
 		return nil, nil, nil, fmt.Errorf("pdn: spectra load length %d, want %d", len(load), ts.N)
 	}
 	spec := dsp.RFFT(load)
-	n := ts.N
-	half := n/2 + 1
+	half := ts.N/2 + 1
 	vAmp = make([]float64, half)
 	iAmp = make([]float64, half)
+	ts.foldAmp(vAmp, iAmp, spec)
+	dsp.PutSpectrum(spec)
+	return ts.freqs, vAmp, iAmp, nil
+}
+
+// SpectraInto is Spectra with caller-provided destinations and FFT scratch,
+// for generation-batched evaluation: vAmp, iAmp and spec must have length
+// N/2+1 and fftScratch at least dsp.RFFTScratchLen(N) (batch slab rows).
+// The FFT and the per-bin fold run the same arithmetic in the same order as
+// Spectra, so the filled amplitudes are bit-identical. The returned freqs
+// slice is shared across calls and must not be modified.
+func (ts *TransferSet) SpectraInto(vAmp, iAmp, load []float64, spec, fftScratch []complex128) (freqs []float64, err error) {
+	if len(load) != ts.N {
+		return nil, fmt.Errorf("pdn: spectra load length %d, want %d", len(load), ts.N)
+	}
+	half := ts.N/2 + 1
+	if len(vAmp) != half || len(iAmp) != half || len(spec) != half {
+		return nil, fmt.Errorf("pdn: spectra destinations %d/%d/%d bins, want %d",
+			len(vAmp), len(iAmp), len(spec), half)
+	}
+	if len(fftScratch) < dsp.RFFTScratchLen(ts.N) {
+		return nil, fmt.Errorf("pdn: FFT scratch %d, want %d", len(fftScratch), dsp.RFFTScratchLen(ts.N))
+	}
+	ts.foldAmp(vAmp, iAmp, dsp.RFFTInto(spec, load, fftScratch))
+	return ts.freqs, nil
+}
+
+// foldAmp folds a half spectrum into single-sided voltage and current
+// amplitudes; the one shared body keeps Spectra and SpectraInto bit-identical.
+func (ts *TransferSet) foldAmp(vAmp, iAmp []float64, spec []complex128) {
+	n := ts.N
 	scale0 := 1 / float64(n)
 	s2 := scale0 * 2
-	for k := 0; k < half; k++ {
+	for k := 0; k < len(spec); k++ {
 		scale := s2
 		if k == 0 || (n%2 == 0 && k == n/2) {
 			scale = scale0
@@ -200,8 +230,6 @@ func (ts *TransferSet) Spectra(load []float64) (freqs, vAmp, iAmp []float64, err
 		vAmp[k] = mag * ts.absHV[k]
 		iAmp[k] = mag * ts.absHI[k]
 	}
-	dsp.PutSpectrum(spec)
-	return ts.freqs, vAmp, iAmp, nil
 }
 
 // RSeries returns the total DC series resistance of the network as seen by

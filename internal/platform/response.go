@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/detrand"
+	"repro/internal/dsp"
 	"repro/internal/isa"
 	"repro/internal/pdn"
 	"repro/internal/power"
+	"repro/internal/slab"
 	"repro/internal/uarch"
 )
 
@@ -58,15 +60,16 @@ func (d *Domain) Current(l Load, dt float64, n int) ([]float64, *uarch.Result, e
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.currentAt(l, dt, n, clock, supply, powered, nil)
+	return d.currentAt(l, dt, n, clock, supply, powered, nil, nil)
 }
 
 // currentAt is Current with the domain state passed explicitly, so
 // concurrent sweeps can evaluate many operating points without mutating
-// (or locking) the shared domain. The returned waveform may come from the
-// power wave pool; internal callers that consume it immediately hand it
-// back via power.PutWave.
-func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) ([]float64, *uarch.Result, error) {
+// (or locking) the shared domain. With buf nil the returned waveform may
+// come from the power wave pool and internal callers that consume it
+// immediately hand it back via power.PutWave; a non-nil buf (a batch slab
+// row of length n) is filled and returned instead, and must not be pooled.
+func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage, buf []float64) ([]float64, *uarch.Result, error) {
 	if err := d.validateLoad(l); err != nil {
 		return nil, nil, err
 	}
@@ -77,7 +80,15 @@ func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, pow
 		ActiveCores: l.ActiveCores,
 		PhaseCycles: l.PhaseCycles,
 	}
-	wave, res, err := cl.CurrentLineage(dt, n, lin)
+	var wave []float64
+	var res *uarch.Result
+	var err error
+	if buf != nil {
+		wave = buf
+		res, err = cl.CurrentLineageInto(wave, dt, n, lin)
+	} else {
+		wave, res, err = cl.CurrentLineage(dt, n, lin)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,7 +128,7 @@ func (d *Domain) SteadyResponseAt(l Load, dt float64, n int, clockHz, supplyVolt
 }
 
 func (d *Domain) steadyResponseAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) (*pdn.Response, *uarch.Result, error) {
-	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin)
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,10 +155,20 @@ func (d *Domain) Spectra(l Load, dt float64, n int) (freqs, vAmp, iAmp []float64
 // SpectraLineage is Spectra with an optional simulation lineage hint (see
 // uarch.RunLineage); results are bit-identical for any hint value.
 func (d *Domain) SpectraLineage(l Load, dt float64, n int, lin *uarch.Lineage) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+	return d.SpectraLineageArena(l, dt, n, lin, nil)
+}
+
+// SpectraLineageArena is SpectraLineage drawing its transient buffers (the
+// current waveform, the half spectrum and the FFT scratch) from a caller's
+// batch arena instead of the shared pools. The memoized outputs (vAmp, iAmp)
+// are still allocated normally — they outlive the arena in the spectra
+// cache. Results are bit-identical to SpectraLineage; a nil arena is the
+// pooled path.
+func (d *Domain) SpectraLineageArena(l Load, dt float64, n int, lin *uarch.Lineage, ar *slab.Arena) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
 	d.mu.Lock()
 	clock, supply, powered := d.clockHz, d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.spectraAt(l, dt, n, clock, supply, powered, lin)
+	return d.spectraAt(l, dt, n, clock, supply, powered, lin, ar)
 }
 
 // SpectraAt is Spectra at an explicit clock (the supply and powered-core
@@ -158,10 +179,10 @@ func (d *Domain) SpectraAt(l Load, dt float64, n int, clockHz float64) (freqs, v
 	d.mu.Lock()
 	supply, powered := d.supplyVolts, d.poweredCores
 	d.mu.Unlock()
-	return d.spectraAt(l, dt, n, clockHz, supply, powered, nil)
+	return d.spectraAt(l, dt, n, clockHz, supply, powered, nil, nil)
 }
 
-func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
+func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, powered int, lin *uarch.Lineage, ar *slab.Arena) (freqs, vAmp, iAmp []float64, res *uarch.Result, err error) {
 	key := spectraKey{load: l.Hash(), powered: powered, clock: clock, supply: supply, dt: dt, n: n}
 	d.spectraMu.Lock()
 	if el, ok := d.spectra[key]; ok {
@@ -174,7 +195,11 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 	d.spectraMu.Unlock()
 	d.spectraMisses.Add(1)
 
-	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin)
+	var buf []float64
+	if ar != nil {
+		buf = ar.FloatsUninit(n) // fillCurrent overwrites (or clears) all n
+	}
+	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin, buf)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -182,8 +207,17 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	freqs, vAmp, iAmp, err = ts.Spectra(wave)
-	power.PutWave(wave)
+	if ar != nil {
+		half := n/2 + 1
+		vAmp = make([]float64, half)
+		iAmp = make([]float64, half)
+		// RFFTInto writes every element of both rows before any read.
+		freqs, err = ts.SpectraInto(vAmp, iAmp, wave,
+			ar.ComplexesUninit(half), ar.ComplexesUninit(dsp.RFFTScratchLen(n)))
+	} else {
+		freqs, vAmp, iAmp, err = ts.Spectra(wave)
+		power.PutWave(wave)
+	}
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

@@ -71,17 +71,12 @@ func (cl ClusterLoad) steadyRun(dt float64, n int, lin *uarch.Lineage) (res *uar
 	}
 	window = float64(n) * dt * cl.ClockHz // cycles covered by the sample window
 	minSteady := int(math.Ceil(window+maxPhase)) + 8
-	if uarch.TraceCacheEnabled() {
-		// Prime one simulation long enough for any snapped window. A
-		// priming failure is ignored: the budget for reaching steady state
-		// grows with the requested window, so the minSteady run below fails
-		// too and reports the canonical (window-sized) error.
-		upfront := int(math.Ceil(window*1.05+maxPhase)) + 2
-		if upfront > minSteady {
-			_, _ = uarch.RunLineage(cl.Core, cl.Seq, upfront, lin)
-		}
-	}
-	res, err = uarch.RunLineage(cl.Core, cl.Seq, minSteady, lin)
+	// Prime the one backing simulation to cover any snapped window (the warp
+	// is bounded at 5%), so the possible re-run below is a pure cache hit.
+	// With the cache disabled the priming window is ignored and each stage
+	// simulates at its own size — bit-identical either way.
+	upfront := int(math.Ceil(window*1.05+maxPhase)) + 2
+	res, err = uarch.RunLineageWindow(cl.Core, cl.Seq, minSteady, upfront, lin)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -115,12 +110,11 @@ func (cl ClusterLoad) steadyRun(dt float64, n int, lin *uarch.Lineage) (res *uar
 // that are done with it hand it back via PutWave.
 var wavePool sync.Pool
 
-// getWave returns a zeroed waveform buffer of length n.
+// getWave returns a waveform buffer of length n; fillCurrent overwrites (or
+// clears) every element, so recycled buffers are not re-zeroed here.
 func getWave(n int) []float64 {
 	if p, _ := wavePool.Get().(*[]float64); p != nil && cap(*p) >= n {
-		w := (*p)[:n]
-		clear(w)
-		return w
+		return (*p)[:n]
 	}
 	return make([]float64, n)
 }
@@ -145,18 +139,41 @@ func (cl ClusterLoad) Current(dt float64, n int) ([]float64, *uarch.Result, erro
 // CurrentLineage is Current with an optional simulation lineage hint (see
 // uarch.RunLineage); results are bit-identical for any hint value.
 func (cl ClusterLoad) CurrentLineage(dt float64, n int, lin *uarch.Lineage) ([]float64, *uarch.Result, error) {
-	if err := cl.Validate(); err != nil {
+	out := getWave(n)
+	res, err := cl.CurrentLineageInto(out, dt, n, lin)
+	if err != nil {
+		PutWave(out)
 		return nil, nil, err
+	}
+	return out, res, nil
+}
+
+// CurrentLineageInto is CurrentLineage writing the waveform into a caller-
+// provided buffer of length n (a batch slab row), bypassing the wave pool.
+// dst is fully overwritten, with the same arithmetic in the same order as
+// CurrentLineage, so the filled row is bit-identical.
+func (cl ClusterLoad) CurrentLineageInto(dst []float64, dt float64, n int, lin *uarch.Lineage) (*uarch.Result, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, err
 	}
 	if dt <= 0 || n < 1 {
-		return nil, nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
+		return nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
 	}
+	if len(dst) != n {
+		return nil, fmt.Errorf("power: waveform buffer length %d, want %d", len(dst), n)
+	}
+	return cl.fillCurrent(dst, dt, n, lin)
+}
+
+// fillCurrent simulates the loop and resamples the cluster current into out
+// (len n). The aligned path overwrites every element; the phased path
+// accumulates, so it clears first.
+func (cl ClusterLoad) fillCurrent(out []float64, dt float64, n int, lin *uarch.Lineage) (*uarch.Result, error) {
 	res, _, scale, err := cl.steadyRun(dt, n, lin)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	steady := res.SteadyCharge()
-	out := getWave(n)
 	if len(cl.PhaseCycles) == 0 {
 		// All cores aligned: every core samples the same trace index, so
 		// resample once and add the per-core value ActiveCores times (the
@@ -175,6 +192,7 @@ func (cl ClusterLoad) CurrentLineage(dt float64, n int, lin *uarch.Lineage) ([]f
 			out[i] = acc
 		}
 	} else {
+		clear(out)
 		for core := 0; core < cl.ActiveCores; core++ {
 			phase := cl.PhaseCycles[core]
 			for i := 0; i < n; i++ {
@@ -188,7 +206,7 @@ func (cl ClusterLoad) CurrentLineage(dt float64, n int, lin *uarch.Lineage) ([]f
 		}
 	}
 	applySlew(out, dt, cl.Core.CurrentSlewTau)
-	return out, res, nil
+	return res, nil
 }
 
 // LoopHz returns the loop fundamental frequency a Current call with the
@@ -218,8 +236,17 @@ func applySlew(wave []float64, dt, tau float64) {
 		return
 	}
 	alpha := 1 - math.Exp(-dt/tau)
-	acc := wave[0]
-	for _, v := range wave {
+	// Warm the filter over the tail of the periodic buffer: the arbitrary
+	// starting state decays by exp(-dt/tau) per sample, so 45 time
+	// constants bury it far below double-precision rounding and the state
+	// entering sample 0 is the converged end-of-period state. Longer time
+	// constants warm over the whole buffer, as before.
+	k := len(wave)
+	if need := 45 * tau / dt; need < float64(k) {
+		k = int(need) + 1
+	}
+	acc := wave[len(wave)-k]
+	for _, v := range wave[len(wave)-k:] {
 		acc += alpha * (v - acc)
 	}
 	for i, v := range wave {

@@ -1,0 +1,88 @@
+package slab
+
+import "testing"
+
+func TestArenaRowsDisjointAndZeroed(t *testing.T) {
+	var a Arena
+	r1 := a.Floats(100)
+	r2 := a.Floats(50)
+	for i := range r1 {
+		r1[i] = 1
+	}
+	for _, v := range r2 {
+		if v != 0 {
+			t.Fatal("row not zeroed")
+		}
+	}
+	r1[99] = 7
+	if r2[0] != 0 {
+		t.Fatal("rows overlap")
+	}
+	c1 := a.Complexes(8)
+	c2 := a.Complexes(8)
+	c1[7] = 1
+	if c2[0] != 0 {
+		t.Fatal("complex rows overlap")
+	}
+	// Appending to a full-capacity row must not bleed into its neighbour.
+	r1 = append(r1, 5)
+	if r2[0] != 0 {
+		t.Fatal("append to a row clobbered the next row")
+	}
+}
+
+func TestArenaResetReusesAndRezeroes(t *testing.T) {
+	var a Arena
+	r := a.Floats(64)
+	for i := range r {
+		r[i] = 3
+	}
+	p := &r[0]
+	a.Reset()
+	r2 := a.Floats(64)
+	if &r2[0] != p {
+		t.Fatal("reset did not reuse the backing block")
+	}
+	for _, v := range r2 {
+		if v != 0 {
+			t.Fatal("recycled row not zeroed")
+		}
+	}
+}
+
+func TestArenaGrowKeepsOldRowsValid(t *testing.T) {
+	var a Arena
+	r1 := a.Floats(10)
+	for i := range r1 {
+		r1[i] = float64(i)
+	}
+	// Force growth past the first block several times.
+	for n := 1; n < 1000; n *= 3 {
+		a.Floats(n)
+	}
+	for i, v := range r1 {
+		if v != float64(i) {
+			t.Fatalf("row written before growth corrupted at %d: %v", i, v)
+		}
+	}
+}
+
+func TestArenaHighWater(t *testing.T) {
+	var a Arena
+	a.Floats(100)    // 800 bytes
+	a.Complexes(100) // +1600 bytes
+	if got := a.HighWater(); got != 2400 {
+		t.Fatalf("high-water %d bytes, want 2400", got)
+	}
+	a.Reset()
+	a.Floats(10)
+	if got := a.HighWater(); got != 2400 {
+		t.Fatalf("high-water shrank to %d after reset", got)
+	}
+	a.Reset()
+	// A batch after reset allocates nothing new when the shape repeats.
+	r := a.Floats(100)
+	if cap(r) != 100 {
+		t.Fatalf("row capacity %d, want exactly 100", cap(r))
+	}
+}

@@ -196,11 +196,24 @@ func (c *traceCache) install(e *traceEntry, prev, h *traceHist) {
 
 // run serves one Run request through the cache.
 func (c *traceCache) run(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*Result, error) {
+	return c.runWindow(cfg, seq, minSteadyCycles, minSteadyCycles, lin)
+}
+
+// runWindow serves a Run request sized for minSteadyCycles while ensuring
+// the cached history covers ensureSteady cycles in the same transaction —
+// one key hash, one lookup, one simulation — so a caller that knows it may
+// come back for a slightly longer window (period snapping warps the sample
+// window by at most 5%) never pays a second simulation or a second probe.
+func (c *traceCache) runWindow(cfg Config, seq []isa.Inst, minSteadyCycles, ensureSteady int, lin *Lineage) (*Result, error) {
+	if ensureSteady < minSteadyCycles {
+		ensureSteady = minSteadyCycles
+	}
 	key := traceKey(&cfg, seq)
 	e, ok := c.lookup(key, &cfg, seq)
 	if !ok {
 		// Hash collision with different content: simulate uncached rather
-		// than fight over the slot (counted as a miss).
+		// than fight over the slot (counted as a miss). Priming headroom is
+		// pointless without a cache slot, so size for the request alone.
 		c.misses.Add(1)
 		hist, err := simulate(&cfg, seq, minSteadyCycles, lin)
 		if err != nil {
@@ -208,41 +221,51 @@ func (c *traceCache) run(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *L
 		}
 		return hist.synth(minSteadyCycles)
 	}
-	if h := e.hist.Load(); h != nil && h.covers(minSteadyCycles) {
+	if h := e.hist.Load(); h != nil && h.covers(ensureSteady) {
 		c.hits.Add(1)
 		return h.synth(minSteadyCycles)
 	}
+	h, err := c.fill(e, ensureSteady, lin)
+	if err != nil {
+		// Failure to reach steady state is monotone in the window length,
+		// so a fresh run at the requested window fails too; report the
+		// error it would have produced.
+		return nil, steadyStateErr(minSteadyCycles)
+	}
+	return h.synth(minSteadyCycles)
+}
+
+// fill ensures, under the entry's simulation lock, that the entry's history
+// covers ensureSteady cycles — simulating on first fill, extending with
+// doubling headroom otherwise — and returns the (possibly pre-existing)
+// covering history.
+func (c *traceCache) fill(e *traceEntry, ensureSteady int, lin *Lineage) (*traceHist, error) {
 	e.simMu.Lock()
+	defer e.simMu.Unlock()
 	h := e.hist.Load()
-	if h == nil || !h.covers(minSteadyCycles) {
-		simSteady := minSteadyCycles
-		if h != nil {
-			// Extension: double the stored window so a sweep asking for
-			// progressively longer steady windows re-simulates O(log) times
-			// instead of at every step.
-			c.extensions.Add(1)
-			if d := 2 * h.steady; d > simSteady {
-				simSteady = d
-			}
-		} else {
-			c.misses.Add(1)
-		}
-		h2, err := simulate(&e.cfg, e.seq, simSteady, lin)
-		if err != nil {
-			e.simMu.Unlock()
-			// Failure to reach steady state is monotone in the window
-			// length, so a fresh run at the requested window fails too;
-			// report the error it would have produced.
-			return nil, steadyStateErr(minSteadyCycles)
-		}
-		c.install(e, h, h2)
-		h = h2
-	} else {
+	if h != nil && h.covers(ensureSteady) {
 		// Another worker simulated while we waited for the lock.
 		c.hits.Add(1)
+		return h, nil
 	}
-	e.simMu.Unlock()
-	return h.synth(minSteadyCycles)
+	simSteady := ensureSteady
+	if h != nil {
+		// Extension: double the stored window so a sweep asking for
+		// progressively longer steady windows re-simulates O(log) times
+		// instead of at every step.
+		c.extensions.Add(1)
+		if d := 2 * h.steady; d > simSteady {
+			simSteady = d
+		}
+	} else {
+		c.misses.Add(1)
+	}
+	h2, err := simulate(&e.cfg, e.seq, simSteady, lin)
+	if err != nil {
+		return nil, err
+	}
+	c.install(e, h, h2)
+	return h2, nil
 }
 
 // CacheStats is a snapshot of the trace cache counters: lookups served from

@@ -51,6 +51,10 @@ const (
 	// A snapshot costs a few hundred words per prefix cycle recorded, so
 	// this is a budget of a few MiB.
 	ckptMaxCycles = 1 << 16
+	// ckptSeenMax bounds the prefix-keys-requested filter (see probe). When
+	// full it is cleared wholesale: the only cost of forgetting is one extra
+	// probe-and-miss before a shared prefix becomes store-eligible again.
+	ckptSeenMax = 1 << 15
 )
 
 // ckptEntry is one stored snapshot: the simulator state immediately after
@@ -70,9 +74,16 @@ type ckptEntry struct {
 type ckptStore struct {
 	mu      sync.Mutex
 	entries map[uint64]*ckptEntry
-	head    *ckptEntry
-	tail    *ckptEntry
-	cycles  int
+	// seen records prefix keys that some earlier simulation probed for.
+	// Snapshots are stored only for prefixes already in seen: a prefix is
+	// snapshot-worthy once a *second* simulation has asked for it, so the
+	// endless stream of never-repeated random sequences a GA evaluates
+	// stores nothing, while a shared parent prefix is stored by the second
+	// child and hit by every later one.
+	seen   map[uint64]struct{}
+	head   *ckptEntry
+	tail   *ckptEntry
+	cycles int
 
 	hits         atomic.Uint64
 	misses       atomic.Uint64
@@ -89,7 +100,10 @@ var (
 func init() { ckptOn.Store(true) }
 
 func newCkptStore() *ckptStore {
-	return &ckptStore{entries: make(map[uint64]*ckptEntry)}
+	return &ckptStore{
+		entries: make(map[uint64]*ckptEntry),
+		seen:    make(map[uint64]struct{}),
+	}
 }
 
 // Lineage is an optional hint that a sequence shares its first Diverge
@@ -109,12 +123,17 @@ func simulate(cfg *Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*
 	if ckptOn.Load() && len(seq) >= ckptInterval {
 		st := globalCkptStore
 		s.ckpt = st
-		s.boundaries, s.keys = prefixKeys(cfg, seq)
+		s.boundaries, s.keys = prefixKeys(cfg, seq, s.boundaries[:0], s.keys[:0])
+		if cap(s.ckptWant) < len(s.boundaries) {
+			s.ckptWant = make([]bool, len(s.boundaries))
+		} else {
+			s.ckptWant = s.ckptWant[:len(s.boundaries)]
+		}
 		maxDepth := len(seq)
 		if lin != nil && lin.Diverge < maxDepth {
 			maxDepth = lin.Diverge
 		}
-		if e := st.probe(cfg, seq, maxDepth, s.boundaries, s.keys); e != nil {
+		if e := st.probe(cfg, seq, maxDepth, s.boundaries, s.keys, s.ckptWant); e != nil {
 			st.hits.Add(1)
 			st.resumedInsts.Add(uint64(e.depth))
 			s.restore(e)
@@ -128,14 +147,12 @@ func simulate(cfg *Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*
 }
 
 // prefixKeys returns the snapshot boundaries for a sequence (multiples of
-// ckptInterval up to its length) and the content hash of each prefix. The
-// hash folds the config and the prefix instructions only — deliberately not
-// the sequence length, since the simulator's state after j instructions is
-// identical for any sequence of length >= j sharing that prefix.
-func prefixKeys(cfg *Config, seq []isa.Inst) ([]int, []uint64) {
-	n := len(seq) / ckptInterval
-	bounds := make([]int, 0, n)
-	keys := make([]uint64, 0, n)
+// ckptInterval up to its length) and the content hash of each prefix,
+// appending into the caller's (typically pooled) slices. The hash folds the
+// config and the prefix instructions only — deliberately not the sequence
+// length, since the simulator's state after j instructions is identical for
+// any sequence of length >= j sharing that prefix.
+func prefixKeys(cfg *Config, seq []isa.Inst, bounds []int, keys []uint64) ([]int, []uint64) {
 	h := detrand.NewHash()
 	hashCfg(h, cfg)
 	for i, in := range seq {
@@ -151,34 +168,40 @@ func prefixKeys(cfg *Config, seq []isa.Inst) ([]int, []uint64) {
 // probe returns the deepest stored snapshot matching a prefix of seq, no
 // deeper than maxDepth, bumping it in the LRU order. A key match with
 // different content (hash collision) is skipped, never resumed.
-func (st *ckptStore) probe(cfg *Config, seq []isa.Inst, maxDepth int, bounds []int, keys []uint64) *ckptEntry {
+//
+// As a side effect it fills want: want[i] reports whether this run should
+// store a snapshot when it crosses boundary i. A boundary qualifies only if
+// an earlier simulation already probed for the same prefix (it is in the
+// seen filter) and no entry holds it yet — so snapshot encoding is paid only
+// for prefixes with demonstrated reuse, at the cost of one warm-up miss per
+// shared prefix. Boundaries beyond maxDepth were not requested by anyone
+// and never qualify.
+func (st *ckptStore) probe(cfg *Config, seq []isa.Inst, maxDepth int, bounds []int, keys []uint64, want []bool) *ckptEntry {
+	var hit *ckptEntry
+	st.mu.Lock()
 	for i := len(bounds) - 1; i >= 0; i-- {
+		want[i] = false
 		if bounds[i] > maxDepth {
 			continue
 		}
-		st.mu.Lock()
-		e := st.entries[keys[i]]
-		if e != nil {
+		e, present := st.entries[keys[i]]
+		if _, seen := st.seen[keys[i]]; seen {
+			want[i] = !present
+		} else {
+			if len(st.seen) >= ckptSeenMax {
+				clear(st.seen)
+			}
+			st.seen[keys[i]] = struct{}{}
+		}
+		if hit == nil && present &&
+			e.cfg == *cfg && e.depth == bounds[i] && sameSeq(e.prefix, seq[:e.depth]) {
 			st.unlink(e)
 			st.pushFront(e)
+			hit = e
 		}
-		st.mu.Unlock()
-		if e == nil {
-			continue
-		}
-		if e.cfg != *cfg || e.depth != bounds[i] || !sameSeq(e.prefix, seq[:e.depth]) {
-			continue
-		}
-		return e
 	}
-	return nil
-}
-
-func (st *ckptStore) has(key uint64) bool {
-	st.mu.Lock()
-	_, ok := st.entries[key]
 	st.mu.Unlock()
-	return ok
+	return hit
 }
 
 // store inserts a snapshot if its key is absent (concurrent writers of the
@@ -230,14 +253,15 @@ func (st *ckptStore) unlink(e *ckptEntry) {
 
 // snapshot captures the simulator state immediately after renaming the
 // instruction at the current boundary. fetchSlot is the issue slot the
-// in-progress fetch stage resumes from. Encoding is skipped entirely when
-// the prefix is already stored.
+// in-progress fetch stage resumes from. Encoding is paid only for
+// boundaries probe marked store-worthy — prefixes some earlier simulation
+// also asked for; stores of racing writers are deduplicated in store.
 func (s *sim) snapshot(fetchSlot int) {
-	st := s.ckpt
-	key := s.keys[s.nextCk]
-	if st.has(key) {
+	if !s.ckptWant[s.nextCk] {
 		return
 	}
+	st := s.ckpt
+	key := s.keys[s.nextCk]
 	depth := s.boundaries[s.nextCk]
 	if s.prefix == nil {
 		// One copy of the deepest boundary's prefix serves every snapshot of
@@ -434,11 +458,13 @@ func SetCheckpointsEnabled(on bool) (prev bool) {
 // CheckpointsEnabled reports whether simulations use the checkpoint store.
 func CheckpointsEnabled() bool { return ckptOn.Load() }
 
-// ResetCheckpointStore drops all snapshots and zeroes the counters.
+// ResetCheckpointStore drops all snapshots, the prefix-reuse filter and the
+// counters.
 func ResetCheckpointStore() {
 	st := globalCkptStore
 	st.mu.Lock()
 	st.entries = make(map[uint64]*ckptEntry)
+	st.seen = make(map[uint64]struct{})
 	st.head, st.tail = nil, nil
 	st.cycles = 0
 	st.mu.Unlock()

@@ -51,13 +51,24 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 			parent := pool.RandomSequence(rng, 50)
 			for _, d := range []int{3, 16, 17, 31, 32, 48, 50} {
 				label := fmt.Sprintf("%s/%s d=%d", cfg.Name, pname, d)
+				sibling := childAt(rng, pool, parent, d)
 				child := childAt(rng, pool, parent, d)
+				wantSibling := uncachedRun(t, cfg, sibling, steady)
 				want := uncachedRun(t, cfg, child, steady)
 
+				// Snapshots are stored only for prefixes with demonstrated
+				// reuse: the parent's run marks its prefixes as requested, a
+				// first sibling sharing the prefix stores the snapshots, and
+				// the child under test resumes from them.
 				ResetCheckpointStore()
 				if _, err := RunLineage(cfg, parent, steady, nil); err != nil {
 					t.Fatalf("%s: parent: %v", label, err)
 				}
+				gotSibling, err := RunLineage(cfg, sibling, steady, &Lineage{Diverge: d})
+				if err != nil {
+					t.Fatalf("%s: sibling: %v", label, err)
+				}
+				requireSameResult(t, label+" (sibling)", gotSibling, wantSibling)
 				before := CheckpointStoreStats()
 				got, err := RunLineage(cfg, child, steady, &Lineage{Diverge: d})
 				if err != nil {
@@ -96,8 +107,10 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 }
 
 // TestCheckpointStatsCounters pins the counter semantics the CLIs report:
-// a parent run misses and stores its boundaries, a resumed child hits, and
-// the mean resume depth reflects the instructions skipped.
+// a first run only marks its prefixes as requested (storing nothing, so
+// one-shot random sequences never pay the snapshot cost), a second
+// encounter of the same prefixes stores the snapshots, a resumed child
+// hits, and the mean resume depth reflects the instructions skipped.
 func TestCheckpointStatsCounters(t *testing.T) {
 	ckptTestEnv(t)
 	cfg := CortexA72()
@@ -111,11 +124,18 @@ func TestCheckpointStatsCounters(t *testing.T) {
 	if cs.Misses != 1 || cs.Hits != 0 {
 		t.Fatalf("after parent: hits=%d misses=%d, want 0/1", cs.Hits, cs.Misses)
 	}
+	if cs.Stored != 0 || cs.Entries != 0 { // first encounter only marks reuse
+		t.Fatalf("after parent: stored=%d entries=%d, want 0/0", cs.Stored, cs.Entries)
+	}
+	if _, err := RunLineage(cfg, parent, 600, nil); err != nil {
+		t.Fatal(err)
+	}
+	cs = CheckpointStoreStats()
 	if cs.Stored != 3 || cs.Entries != 3 { // boundaries at 16, 32, 48
-		t.Fatalf("after parent: stored=%d entries=%d, want 3/3", cs.Stored, cs.Entries)
+		t.Fatalf("after warm-up rerun: stored=%d entries=%d, want 3/3", cs.Stored, cs.Entries)
 	}
 	if cs.Cycles <= 0 {
-		t.Fatalf("after parent: %d cycles held", cs.Cycles)
+		t.Fatalf("after warm-up rerun: %d cycles held", cs.Cycles)
 	}
 	child := childAt(rng, pool, parent, 37)
 	if _, err := RunLineage(cfg, child, 600, &Lineage{Diverge: 37}); err != nil {

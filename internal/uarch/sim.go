@@ -98,6 +98,7 @@ type sim struct {
 	ckpt         *ckptStore
 	boundaries   []int
 	keys         []uint64
+	ckptWant     []bool // per boundary: store a snapshot when crossing it
 	nextCk       int
 	prefix       []isa.Inst
 	resumeSlot   int
@@ -194,7 +195,10 @@ func newSim(cfg *Config, seq []isa.Inst, steadyHint int) *sim {
 	s.sigCount, s.pendingP, s.pendingAt = 0, 0, 0
 	s.seenIters = 0
 	s.ckpt = nil
-	s.boundaries, s.keys = nil, nil
+	// boundaries, keys and ckptWant keep their capacity across pooled runs;
+	// simulate refills them from scratch (or leaves them empty when
+	// checkpointing is off — fetch only consults them behind s.ckpt).
+	s.boundaries, s.keys, s.ckptWant = s.boundaries[:0], s.keys[:0], s.ckptWant[:0]
 	s.nextCk = 0
 	s.prefix = nil
 	s.resumeSlot = -1
@@ -209,7 +213,6 @@ func (s *sim) release() {
 	s.chargeDiff = s.chargeDiff[:0]
 	s.cfg, s.seq = nil, nil
 	s.ckpt = nil
-	s.boundaries, s.keys = nil, nil
 	s.prefix = nil
 	s.cumIssued, s.iterStarts = nil, nil
 	simPool.Put(s)

@@ -172,6 +172,17 @@ func Run(cfg Config, seq []isa.Inst, minSteadyCycles int) (*Result, error) {
 // probes for a resumable snapshot. Results are bit-identical to Run for any
 // hint value, including nil.
 func RunLineage(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (*Result, error) {
+	return RunLineageWindow(cfg, seq, minSteadyCycles, 0, lin)
+}
+
+// RunLineageWindow is RunLineage with a cache-priming window: when the trace
+// cache is enabled and primeSteadyCycles exceeds minSteadyCycles, the one
+// simulation backing this request is sized to cover primeSteadyCycles, so a
+// follow-up request for any steady window up to that bound is served as a
+// pure cache hit instead of a second simulation. The returned Result is
+// bit-identical to RunLineage(cfg, seq, minSteadyCycles, lin) for any
+// priming window; with the cache disabled the priming window is ignored.
+func RunLineageWindow(cfg Config, seq []isa.Inst, minSteadyCycles, primeSteadyCycles int, lin *Lineage) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,7 +193,7 @@ func RunLineage(cfg Config, seq []isa.Inst, minSteadyCycles int, lin *Lineage) (
 		return nil, fmt.Errorf("uarch: minSteadyCycles = %d", minSteadyCycles)
 	}
 	if traceCacheOn.Load() {
-		return globalTraceCache.run(cfg, seq, minSteadyCycles, lin)
+		return globalTraceCache.runWindow(cfg, seq, minSteadyCycles, primeSteadyCycles, lin)
 	}
 	hist, err := simulate(&cfg, seq, minSteadyCycles, lin)
 	if err != nil {
