@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 
-.PHONY: all build test tier1 tier1-remote race vet bench bench-all bench-compare perf-gate chaos fmt
+.PHONY: all build test tier1 tier1-remote tier1-fleet race vet bench bench-all bench-compare perf-gate chaos fmt
 
 all: build test
 
@@ -15,7 +15,7 @@ test: build
 # The gate runs fmt and vet and forces fresh test execution (no cached
 # results), so a flaky or order-dependent test cannot hide behind the
 # build cache.
-tier1: build fmt vet tier1-remote
+tier1: build fmt vet tier1-remote tier1-fleet
 	GOFLAGS=-count=1 $(GO) test ./...
 
 # Local/remote backend equivalence: the lab protocol v2 suite and the
@@ -25,6 +25,17 @@ tier1: build fmt vet tier1-remote
 tier1-remote:
 	GOFLAGS=-count=1 $(GO) test -run 'Hello|Caps|V2|Chaos|Monitor|Stats|Equivalence|Capability|Determinism|FlagInventory' \
 		./internal/lab ./internal/backend ./internal/cli
+
+# Fleet: the campaign orchestrator's chaos suite under the race detector —
+# bit-identity of sharded GA generations / sweeps / shmoo lattices against
+# a single backend at several layouts, a rig killed mid-campaign failing
+# over onto survivors, checkpoint restart replaying without re-measuring,
+# and the pool close-under-load and batch-parallelism regressions the
+# orchestrator leans on.
+tier1-fleet:
+	GOFLAGS=-count=1 $(GO) test -race ./internal/fleet
+	GOFLAGS=-count=1 $(GO) test -race -run 'PoolCloseUnderLoad|SweepAtMatchesDirect' ./internal/lab
+	GOFLAGS=-count=1 $(GO) test -race -run 'MeasureBatchParallelismZero|BatchMemoKeyedByReceiveChain' ./internal/core
 
 # Chaos: the remote-lab fault-injection suite (deterministic drop/delay/
 # garble proxy, reconnect-and-replay, pooled GA vs direct equivalence)
@@ -48,7 +59,7 @@ vet:
 # and lineage evaluation), recorded as $(BENCH_OUT) for regression diffing:
 #   make bench BENCH_OUT=BENCH_pr5.json
 bench:
-	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage|BenchmarkGenerationBatch' \
+	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage|BenchmarkGenerationBatch|BenchmarkFleetGeneration' \
 		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Diff two benchmark reports; exits nonzero if any benchmark present in
@@ -63,9 +74,13 @@ bench-compare:
 # them against the last checked-in baseline (fails on a >20% ns/op
 # regression, and prints the cross-PR trajectory table on success):
 #   make perf-gate
+# The bench regex includes the fleet merge path (BenchmarkFleetGeneration),
+# so a coordination-tax regression in the orchestrator trips the same gate
+# as a hot-path one; benchmarks absent from the old baseline are reported
+# but not compared.
 perf-gate:
 	$(MAKE) bench BENCH_OUT=BENCH_head.json
-	$(MAKE) bench-compare OLD=BENCH_pr4.json NEW=BENCH_head.json
+	$(MAKE) bench-compare OLD=BENCH_pr6.json NEW=BENCH_head.json
 
 # The full benchmark suite, one iteration each (smoke).
 bench-all:

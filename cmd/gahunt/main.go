@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cli"
+	"repro/internal/fleet"
 	"repro/internal/ga"
 	"repro/internal/isa"
 )
@@ -84,6 +85,9 @@ func main() {
 
 	fmt.Printf("gahunt: %s/%s, %d cores, metric=%s, %dx%d, %d island(s)\n",
 		be.PlatformName(), domain, *app.Cores, *metric, *pop, *gens, *islands)
+	if f, ok := be.(*fleet.Fleet); ok {
+		fmt.Printf("gahunt: generations shard across a fleet of %d rigs\n", f.Size())
+	}
 	start := time.Now()
 	var res *ga.Result
 	if *islands > 1 {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/fleet"
 	"repro/internal/report"
 )
 
@@ -53,6 +54,9 @@ func main() {
 		app.Fatal(err)
 	}
 
+	if f, ok := be.(*fleet.Fleet); ok {
+		fmt.Printf("sweep: clock grid shards across a fleet of %d rigs\n", f.Size())
+	}
 	res, err := be.ResonanceSweep(domain, *active, 0)
 	if err != nil {
 		app.Fatal(err)

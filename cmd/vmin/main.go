@@ -18,9 +18,11 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cli"
+	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/session"
+	"repro/internal/vmin"
 	"repro/internal/workload"
 )
 
@@ -64,6 +66,9 @@ func main() {
 	} else {
 		list = strings.Split(*names, ",")
 	}
+	if f, ok := be.(*fleet.Fleet); ok {
+		fmt.Printf("vmin: fleet of %d rigs\n", f.Size())
+	}
 
 	if *shmoo {
 		runShmoo(app, be, caps, domain, list, active)
@@ -80,23 +85,30 @@ func main() {
 	tb := report.NewTable(
 		fmt.Sprintf("V_MIN on %s/%s (%d active cores, %d repeats)", be.PlatformName(), domain, active, *repeats),
 		"workload", "Vmin", "margin", "droop@nominal", "first failure")
-	for _, wn := range list {
-		w, err := workload.ByName(strings.TrimSpace(wn))
+	wnames, loads := buildLoads(app, caps, list, active)
+	results := make([]*vmin.Result, len(loads))
+	if f, ok := be.(*fleet.Fleet); ok {
+		// One campaign for the whole workload list: searches shard across
+		// the rigs instead of running one by one.
+		rs, _, err := f.VminMany(domain, loads, *app.Seed, *repeats)
 		if err != nil {
 			app.Fatal(err)
 		}
-		seq, err := w.Build(caps.Pool())
-		if err != nil {
-			app.Fatal(err)
+		results = rs
+	} else {
+		for i, load := range loads {
+			res, _, err := be.Vmin(domain, load, *app.Seed, *repeats)
+			if err != nil {
+				app.Fatal(fmt.Errorf("%s: %w", wnames[i], err))
+			}
+			results[i] = res
 		}
-		res, _, err := be.Vmin(domain, platform.Load{Seq: seq, ActiveCores: active}, *app.Seed, *repeats)
-		if err != nil {
-			app.Fatal(fmt.Errorf("%s: %w", w.Name, err))
-		}
-		tb.AddRow(w.Name, report.Volts(res.VminV), report.MV(res.MarginV),
+	}
+	for i, res := range results {
+		tb.AddRow(wnames[i], report.Volts(res.VminV), report.MV(res.MarginV),
 			report.MV(res.DroopNominalV), res.Outcome.String())
 		if rep != nil {
-			rep.AddVmin(w.Name, res)
+			rep.AddVmin(wnames[i], res)
 		}
 	}
 	fmt.Print(tb.String())
@@ -108,7 +120,29 @@ func main() {
 	app.MaybePrintStats(be, domain)
 }
 
-// runShmoo prints a Vmin-vs-frequency curve per workload.
+// buildLoads resolves workload names into index-aligned (name, load)
+// lists.
+func buildLoads(app *cli.App, caps backend.Caps, list []string, active int) ([]string, []platform.Load) {
+	names := make([]string, 0, len(list))
+	loads := make([]platform.Load, 0, len(list))
+	for _, wn := range list {
+		w, err := workload.ByName(strings.TrimSpace(wn))
+		if err != nil {
+			app.Fatal(err)
+		}
+		seq, err := w.Build(caps.Pool())
+		if err != nil {
+			app.Fatal(err)
+		}
+		names = append(names, w.Name)
+		loads = append(loads, platform.Load{Seq: seq, ActiveCores: active})
+	}
+	return names, loads
+}
+
+// runShmoo prints a Vmin-vs-frequency curve per workload. On a fleet the
+// whole workloads × clocks lattice is one campaign, sharded cell by cell
+// across the rigs.
 func runShmoo(app *cli.App, be backend.Backend, caps backend.Caps, domain string, list []string, active int) {
 	var clocks []float64
 	steps := caps.ClockSteps()
@@ -120,20 +154,25 @@ func runShmoo(app *cli.App, be backend.Backend, caps backend.Caps, domain string
 	for i := len(steps) - 1; i >= 0; i -= stride {
 		clocks = append(clocks, steps[i])
 	}
-	for _, wn := range list {
-		w, err := workload.ByName(strings.TrimSpace(wn))
+	wnames, loads := buildLoads(app, caps, list, active)
+	var grid [][]vmin.ShmooPoint
+	if f, ok := be.(*fleet.Fleet); ok {
+		g, err := f.ShmooGrid(domain, loads, *app.Seed, clocks)
 		if err != nil {
 			app.Fatal(err)
 		}
-		seq, err := w.Build(caps.Pool())
-		if err != nil {
-			app.Fatal(err)
+		grid = g
+	} else {
+		for i, load := range loads {
+			points, err := be.VminShmoo(domain, load, *app.Seed, clocks)
+			if err != nil {
+				app.Fatal(fmt.Errorf("%s: %w", wnames[i], err))
+			}
+			grid = append(grid, points)
 		}
-		points, err := be.VminShmoo(domain, platform.Load{Seq: seq, ActiveCores: active}, *app.Seed, clocks)
-		if err != nil {
-			app.Fatal(fmt.Errorf("%s: %w", w.Name, err))
-		}
-		tb := report.NewTable(fmt.Sprintf("Shmoo: %s on %s/%s", w.Name, be.PlatformName(), domain),
+	}
+	for i, points := range grid {
+		tb := report.NewTable(fmt.Sprintf("Shmoo: %s on %s/%s", wnames[i], be.PlatformName(), domain),
 			"clock", "Vmin", "margin")
 		for _, pt := range points {
 			tb.AddRow(report.MHz(pt.ClockHz), report.Volts(pt.VminV), report.MV(pt.MarginV))

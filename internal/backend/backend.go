@@ -153,6 +153,13 @@ type Backend interface {
 	// ResonanceSweep runs the Section 5.3 fast resonance sweep with the
 	// given per-point analyzer averaging.
 	ResonanceSweep(domain string, activeCores, samples int) (*core.SweepResult, error)
+	// SweepPoint measures one fast-sweep point at an explicit clock
+	// setting without touching the domain's live clock (nil point, nil
+	// error = the probe loop is out of band at that clock). Fleet
+	// coordinators shard core.SweepClockSteps over this; a pre-v3 remote
+	// daemon lacks the verb and returns an error (see Remote.
+	// SweepPointCapable for the placement-time check).
+	SweepPoint(domain string, activeCores, samples int, clockHz float64) (*core.SweepPoint, error)
 	// MonitorAll captures one spectrum with every given domain's load
 	// emitting simultaneously (Figure 15).
 	MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, error)

@@ -204,6 +204,15 @@ func (l *Local) ResonanceSweep(name string, activeCores, samples int) (*core.Swe
 	return l.benchWithSamples(samples).FastResonanceSweep(d, activeCores)
 }
 
+// SweepPoint measures one fast-sweep point at an explicit clock setting.
+func (l *Local) SweepPoint(name string, activeCores, samples int, clockHz float64) (*core.SweepPoint, error) {
+	d, err := l.domain(name)
+	if err != nil {
+		return nil, err
+	}
+	return l.benchWithSamples(samples).SweepPointAt(d, activeCores, clockHz)
+}
+
 // MonitorAll captures one combined spectrum over several domains' loads.
 func (l *Local) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, error) {
 	return l.bench.MonitorAll(loads)

@@ -363,6 +363,33 @@ func (r *Remote) ResonanceSweep(domain string, activeCores, samples int) (*core.
 	return res, nil
 }
 
+// SweepPointCapable reports whether the daemon speaks the protocol-v3
+// SWEEPAT verb. Fleet coordinators consult this at placement time so a
+// pre-v3 rig is excluded from point-sharded sweeps instead of failing
+// mid-campaign.
+func (r *Remote) SweepPointCapable() bool { return r.version >= 3 }
+
+// SweepPoint measures one fast-sweep point at an explicit clock setting on
+// the daemon.
+func (r *Remote) SweepPoint(domain string, activeCores, samples int, clockHz float64) (*core.SweepPoint, error) {
+	if r.version < 3 {
+		return nil, fmt.Errorf("backend: lab daemon at %s speaks protocol v%d and lacks the SWEEPAT verb (per-point sweep sharding); redeploy cmd/labtarget from this tree", r.addr, r.version)
+	}
+	if samples <= 0 {
+		samples = r.Samples
+	}
+	var pt *core.SweepPoint
+	err := r.pool.Do(func(c *lab.Client) error {
+		var err error
+		pt, err = c.SweepAt(domain, activeCores, samples, clockHz)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
 // MonitorAll captures one combined spectrum over several domains' loads.
 // Parts are sent in sorted domain order — the same order the bench's
 // MonitorAll iterates — so the target's float summation matches a local

@@ -1,9 +1,10 @@
 // Package cli is the shared wiring of the measurement commands (sweep,
 // vmin, characterize, gahunt, repro): one flag vocabulary, one platform
 // builder, one backend construction path. Every command gets the same
-// universal block — -seed, -j, -v, -remote, -cpuprofile, -memprofile —
-// plus the per-command flags its profile declares, so `-remote ADDR`
-// means exactly the same thing everywhere and a new command cannot drift.
+// universal block — -seed, -j, -v, -remote, -backends, -checkpoint,
+// -cpuprofile, -memprofile — plus the per-command flags its profile
+// declares, so `-remote ADDR` means exactly the same thing everywhere and
+// a new command cannot drift.
 package cli
 
 import (
@@ -16,7 +17,9 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/em"
+	"repro/internal/fleet"
 	"repro/internal/lab"
 	"repro/internal/platform"
 	"repro/internal/prof"
@@ -52,7 +55,7 @@ var Profiles = map[string]Spec{
 }
 
 // UniversalFlags is the block every command registers.
-var UniversalFlags = []string{"seed", "j", "v", "remote", "cpuprofile", "memprofile"}
+var UniversalFlags = []string{"seed", "j", "v", "remote", "backends", "checkpoint", "cpuprofile", "memprofile"}
 
 // App is one command's parsed flag set plus the construction helpers that
 // turn it into a Backend.
@@ -64,6 +67,8 @@ type App struct {
 	Jobs       *int
 	Verbose    *bool
 	Remote     *string
+	Backends   *string
+	Checkpoint *string
 	CPUProfile *string
 	MemProfile *string
 
@@ -94,6 +99,8 @@ func New(name string, fs *flag.FlagSet) *App {
 	a.Jobs = fs.Int("j", runtime.NumCPU(), "parallel evaluations (results are identical at any setting)")
 	a.Verbose = fs.Bool("v", false, "print evaluation statistics (transport counters when -remote, cache counters otherwise)")
 	a.Remote = fs.String("remote", "", "labtarget address for remote measurement (host:port)")
+	a.Backends = fs.String("backends", "", "comma-separated rig fleet: labtarget addresses and/or \"local\" (host1:port,host2:port,local)")
+	a.Checkpoint = fs.String("checkpoint", "", "journal completed fleet shards to this file; a restarted campaign replays them instead of re-measuring")
 	a.CPUProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	a.MemProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if spec.Platform {
@@ -164,11 +171,21 @@ func (a *App) platformSet() bool {
 }
 
 // Backend builds the measurement backend the flags select: a local bench
-// seeded by -seed, or (with -remote) a pool of -j sessions against a lab
-// daemon. An explicit -platform combined with -remote is verified against
-// the daemon's identity, so pointing a juno campaign at an amd daemon
-// fails up front instead of producing a confusing report.
+// seeded by -seed, a pool of -j sessions against a lab daemon (with
+// -remote), or a fleet of rigs (with -backends). An explicit -platform
+// combined with -remote is verified against the daemon's identity, so
+// pointing a juno campaign at an amd daemon fails up front instead of
+// producing a confusing report.
 func (a *App) Backend() (backend.Backend, error) {
+	if *a.Backends != "" {
+		if *a.Remote != "" {
+			return nil, fmt.Errorf("-remote and -backends are mutually exclusive; list the daemon in -backends instead")
+		}
+		return a.fleetBackend()
+	}
+	if *a.Checkpoint != "" {
+		return nil, fmt.Errorf("-checkpoint needs a fleet (-backends)")
+	}
 	if *a.Remote != "" {
 		be, err := backend.NewRemote(*a.Remote, *a.Jobs, lab.Options{})
 		if err != nil {
@@ -208,6 +225,92 @@ func (a *App) Backend() (backend.Backend, error) {
 	}
 	bench.Parallelism = *a.Jobs
 	return backend.NewLocal(bench)
+}
+
+// fleetBackend builds one rig per -backends entry — "local" is a bench
+// seeded by -seed in this process, anything else a labtarget address —
+// and hands them to the fleet coordinator. The campaign salt folds the
+// seed and platform choice, so checkpoints journaled under one seed never
+// replay into a run with another.
+func (a *App) fleetBackend() (backend.Backend, error) {
+	var rigs []fleet.Rig
+	closeAll := func() {
+		for _, r := range rigs {
+			r.Backend.Close()
+		}
+	}
+	platName := "juno"
+	if a.Platform != nil {
+		platName = *a.Platform
+	}
+	for _, entry := range strings.Split(*a.Backends, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if entry == "local" {
+			p, err := BuildPlatform(platName)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			bench, err := core.NewBench(p, *a.Seed)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if s := a.samples(); s > 0 {
+				bench.Samples = s
+			}
+			bench.Parallelism = *a.Jobs
+			be, err := backend.NewLocal(bench)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			rigs = append(rigs, fleet.Rig{Name: "local", Backend: be})
+			continue
+		}
+		be, err := backend.NewRemote(entry, *a.Jobs, lab.Options{})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("rig %s: %w", entry, err)
+		}
+		if s := a.samples(); s > 0 {
+			be.Samples = s
+		}
+		rigs = append(rigs, fleet.Rig{Name: entry, Backend: be})
+	}
+	if len(rigs) == 0 {
+		return nil, fmt.Errorf("-backends lists no rigs")
+	}
+	opts := fleet.Options{Slots: *a.Jobs, Salt: fleetSalt(*a.Seed, platName)}
+	if *a.Checkpoint != "" {
+		ckpt, err := fleet.OpenCheckpoint(*a.Checkpoint)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		opts.Checkpoint = ckpt
+	}
+	f, err := fleet.New(rigs, opts)
+	if err != nil {
+		closeAll()
+		if opts.Checkpoint != nil {
+			opts.Checkpoint.Close()
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// fleetSalt derives the campaign-key salt from the run identity the
+// backend surface cannot observe.
+func fleetSalt(seed int64, platName string) uint64 {
+	h := detrand.NewHash()
+	h.Uint64(uint64(seed))
+	h.String(platName)
+	return h.Sum()
 }
 
 // samples resolves the effective analyzer averaging override: the

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/detrand"
 	"repro/internal/em"
 	"repro/internal/ga"
 	"repro/internal/par"
@@ -22,12 +23,13 @@ type BatchStats struct {
 	DedupHits  uint64 // individuals served by an identical batchmate
 	MemoHits   uint64 // individuals served by the cross-generation memo
 	ArenaBytes uint64 // high-water slab bytes across one batch's workers
+	Workers    uint64 // distinct worker slots exercised by the widest batch
 }
 
 // String renders the stats as the one-line summary the CLIs print.
 func (s BatchStats) String() string {
-	return fmt.Sprintf("batch eval: %d batches / %d items (%d measured), %d dedup hits / %d memo hits, arena high-water %d B",
-		s.Batches, s.Items, s.Measured, s.DedupHits, s.MemoHits, s.ArenaBytes)
+	return fmt.Sprintf("batch eval: %d batches / %d items (%d measured), %d dedup hits / %d memo hits, arena high-water %d B, %d worker slots",
+		s.Batches, s.Items, s.Measured, s.DedupHits, s.MemoHits, s.ArenaBytes, s.Workers)
 }
 
 // batchMemoCap bounds the cross-generation measurement memo (mirrors the
@@ -40,12 +42,34 @@ const batchMemoCap = 512
 // floats), so memoized repeats — elites re-measured every generation,
 // converged clones — skip the whole pipeline, including the simulator.
 type batchMemoKey struct {
-	load           uint64
+	load uint64
+	// em is the content hash of the receive chain (antenna parameters and
+	// the domain's coupling path): a shallow bench copy with a retuned
+	// antenna shares batchState, and without this field it would be served
+	// another antenna's memoized fitness.
+	em             uint64
 	powered        int
 	clock, supply  float64
 	dt             float64
 	n, samples     int
 	bandLo, bandHi float64
+}
+
+// emIdentity content-hashes everything between the domain's feed current
+// and the analyzer input: the antenna's response parameters and the
+// domain's radiating path. Together with the key's band and sample fields
+// it pins the memoized value to the full receive chain.
+func emIdentity(ant em.Antenna, path em.Path) uint64 {
+	h := detrand.NewHash()
+	h.Float64(ant.SelfResonanceHz)
+	h.Float64(ant.Q)
+	h.Float64(ant.FeedOhms)
+	h.Float64(ant.SystemOhms)
+	h.Float64(path.DistanceM)
+	h.Float64(path.CouplingK)
+	h.Float64(path.RefHz)
+	h.Float64(path.RefDistanceM)
+	return h.Sum()
 }
 
 type batchMemoEnt struct {
@@ -64,7 +88,7 @@ type batchState struct {
 	arenaPool sync.Pool // *slab.Arena
 
 	batches, items, measured, dedup, memoHits atomic.Uint64
-	arenaBytes                                atomic.Uint64
+	arenaBytes, workerSlots                   atomic.Uint64
 }
 
 func newBatchState() *batchState {
@@ -94,6 +118,7 @@ func (b *Bench) BatchStats() BatchStats {
 		DedupHits:  st.dedup.Load(),
 		MemoHits:   st.memoHits.Load(),
 		ArenaBytes: st.arenaBytes.Load(),
+		Workers:    st.workerSlots.Load(),
 	}
 }
 
@@ -169,6 +194,7 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 	// memo then carries results across generations — elites re-measured
 	// every generation, clones of already-measured parents — under the same
 	// 64-bit content key the spectra cache already trusts.
+	emID := emIdentity(b.Platform.Antenna, d.Spec.EMPath)
 	firstOf := make(map[uint64]int, len(items))
 	dupOf := make([]int, len(items))
 	keys := make([]batchMemoKey, len(items))
@@ -176,7 +202,7 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 	var dedup, memoHits uint64
 	for i := range items {
 		h := platform.Load{Seq: items[i].Seq, ActiveCores: activeCores}.Hash()
-		keys[i] = batchMemoKey{load: h, powered: powered, clock: clock, supply: supply,
+		keys[i] = batchMemoKey{load: h, em: emID, powered: powered, clock: clock, supply: supply,
 			dt: b.Dt, n: b.N, samples: samples, bandLo: b.Band.Lo, bandHi: b.Band.Hi}
 		if j, ok := firstOf[h]; ok {
 			dupOf[i] = j
@@ -197,16 +223,24 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 	// single individual and the per-item Reset rewinds them in O(1), so the
 	// arena's footprint is one individual's slab set, retained across
 	// batches via the pool.
+	//
+	// The parallelism setting is resolved exactly once: ForEachWorker takes
+	// a literal worker count and never maps <=0 to "all CPUs" itself, so the
+	// resolved value must be what reaches it — passing the raw setting would
+	// run the whole batch inline on one worker while the arenas are sized
+	// for par.Workers(parallelism) slots.
 	workers := par.Workers(parallelism)
 	if workers > len(work) {
 		workers = len(work)
 	}
 	arenas := make([]*slab.Arena, workers)
+	used := make([]atomic.Bool, workers)
 	for w := range arenas {
 		arenas[w] = st.getArena()
 	}
-	err := par.ForEachWorker(parallelism, len(work), func(w, k int) error {
+	err := par.ForEachWorker(workers, len(work), func(w, k int) error {
 		i := work[k]
+		used[w].Store(true)
 		ar := arenas[w]
 		ar.Reset()
 		l := platform.Load{Seq: items[i].Seq, ActiveCores: activeCores}
@@ -232,6 +266,18 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 	for _, ar := range arenas {
 		arenaTotal += uint64(ar.HighWater())
 		st.putArena(ar)
+	}
+	var slotsUsed uint64
+	for w := range used {
+		if used[w].Load() {
+			slotsUsed++
+		}
+	}
+	for {
+		cur := st.workerSlots.Load()
+		if slotsUsed <= cur || st.workerSlots.CompareAndSwap(cur, slotsUsed) {
+			break
+		}
 	}
 	st.batches.Add(1)
 	st.items.Add(uint64(len(items)))

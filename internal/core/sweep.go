@@ -34,16 +34,24 @@ type SweepResult struct {
 	PeakDBm    float64
 }
 
-// FastResonanceSweep implements the Section 5.3 method: run the fixed
-// two-phase probe loop on activeCores cores, step the CPU clock across its
-// full range (which modulates the loop frequency proportionally), and at
-// each step record the EM amplitude near the loop fundamental. The loop
-// frequency with the strongest emission is the first-order resonance.
-// Clock steps are independent operating points evaluated through the
-// stateless SpectraAt path on up to b.Parallelism workers; the domain's
-// clock setting is never touched and results are collected by step index,
-// so serial and parallel sweeps are identical.
-func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepResult, error) {
+// SweepClockSteps returns the clock grid FastResonanceSweep walks for the
+// domain: every DVFS step, descending like the paper (1.2 GHz down to
+// 120 MHz). Campaign coordinators shard this exact grid so a distributed
+// sweep visits the same operating points a local one does.
+func SweepClockSteps(d *platform.Domain) []float64 {
+	steps := d.ClockSteps()
+	sort.Sort(sort.Reverse(sort.Float64Slice(steps)))
+	return steps
+}
+
+// SweepPointAt evaluates one step of the Section 5.3 fast sweep at an
+// explicit clock setting: the probe loop's frequency at that clock, and
+// the received EM amplitude at the loop fundamental. It returns nil (and
+// no error) when the loop frequency falls outside the bench's search band
+// — only in-band points can reveal the resonance. The evaluation goes
+// through the stateless SpectraAt path, so the domain's live clock setting
+// is never touched and concurrent points cannot interfere.
+func (b *Bench) SweepPointAt(d *platform.Domain, activeCores int, clockHz float64) (*SweepPoint, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,62 +59,90 @@ func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepR
 	if err != nil {
 		return nil, err
 	}
+	clock, err := d.SnapClock(clockHz)
+	if err != nil {
+		return nil, err
+	}
+	l := platform.Load{Seq: probe, ActiveCores: activeCores}
+	// Band-filter on the loop frequency before paying for the full
+	// spectra pipeline: LoopHzAt shares SpectraAt's simulation sizing
+	// (with the trace cache warm it is nearly free), so out-of-band
+	// clock steps skip the resample + FFT + analyzer entirely and the
+	// in-band point set is unchanged.
+	loopHz, _, err := d.LoopHzAt(l, b.Dt, b.N, clock)
+	if err != nil {
+		return nil, err
+	}
+	if loopHz <= 0 {
+		return nil, fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
+	}
+	if loopHz < b.Band.Lo || loopHz > b.Band.Hi {
+		return nil, nil
+	}
+	freqs, _, iAmp, _, err := d.SpectraAt(l, b.Dt, b.N, clock)
+	if err != nil {
+		return nil, err
+	}
+	_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
+		{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Measure the spike at the loop fundamental. The band must cover
+	// the analyzer's RBW re-binning: a spike within one FFT bin of the
+	// loop frequency can land in an RBW bin whose centre is up to
+	// RBW/2 + binW away.
+	binW := 1 / (float64(b.N) * b.Dt)
+	half := b.Analyzer.RBWHz + 2*binW
+	m, err := b.Analyzer.MeasurePeak(freqs, watts, loopHz-half, loopHz+half, b.Samples)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepPoint{ClockHz: clock, LoopHz: loopHz, PeakDBm: m.PeakDBm}, nil
+}
 
-	steps := d.ClockSteps()
-	// Sweep descending like the paper (1.2 GHz down to 120 MHz).
-	sort.Sort(sort.Reverse(sort.Float64Slice(steps)))
+// FastResonanceSweep implements the Section 5.3 method: run the fixed
+// two-phase probe loop on activeCores cores, step the CPU clock across its
+// full range (which modulates the loop frequency proportionally), and at
+// each step record the EM amplitude near the loop fundamental. The loop
+// frequency with the strongest emission is the first-order resonance.
+// Clock steps are independent operating points evaluated through the
+// stateless SweepPointAt path on up to b.Parallelism workers; the domain's
+// clock setting is never touched and results are collected by step index,
+// so serial and parallel sweeps are identical — as are sweeps whose points
+// were measured on different rigs of a fleet, which is what lets
+// internal/fleet shard this grid and reassemble via AssembleSweep.
+func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepResult, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	steps := SweepClockSteps(d)
 
 	// points[i] stays nil when step i's loop frequency falls outside the
 	// search band (only in-band loop frequencies can reveal the resonance).
 	points := make([]*SweepPoint, len(steps))
-	err = par.ForEach(b.Parallelism, len(steps), func(i int) error {
-		clock, err := d.SnapClock(steps[i])
+	err := par.ForEach(b.Parallelism, len(steps), func(i int) error {
+		pt, err := b.SweepPointAt(d, activeCores, steps[i])
 		if err != nil {
 			return err
 		}
-		l := platform.Load{Seq: probe, ActiveCores: activeCores}
-		// Band-filter on the loop frequency before paying for the full
-		// spectra pipeline: LoopHzAt shares SpectraAt's simulation sizing
-		// (with the trace cache warm it is nearly free), so out-of-band
-		// clock steps skip the resample + FFT + analyzer entirely and the
-		// in-band point set is unchanged.
-		loopHz, _, err := d.LoopHzAt(l, b.Dt, b.N, clock)
-		if err != nil {
-			return err
-		}
-		if loopHz <= 0 {
-			return fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
-		}
-		if loopHz < b.Band.Lo || loopHz > b.Band.Hi {
-			return nil
-		}
-		freqs, _, iAmp, _, err := d.SpectraAt(l, b.Dt, b.N, clock)
-		if err != nil {
-			return err
-		}
-		_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
-			{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
-		})
-		if err != nil {
-			return err
-		}
-		// Measure the spike at the loop fundamental. The band must cover
-		// the analyzer's RBW re-binning: a spike within one FFT bin of the
-		// loop frequency can land in an RBW bin whose centre is up to
-		// RBW/2 + binW away.
-		binW := 1 / (float64(b.N) * b.Dt)
-		half := b.Analyzer.RBWHz + 2*binW
-		m, err := b.Analyzer.MeasurePeak(freqs, watts, loopHz-half, loopHz+half, b.Samples)
-		if err != nil {
-			return err
-		}
-		points[i] = &SweepPoint{ClockHz: clock, LoopHz: loopHz, PeakDBm: m.PeakDBm}
+		points[i] = pt
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	return AssembleSweep(points)
+}
 
+// AssembleSweep merges a sweep's per-point measurements (in clock-grid
+// order; nil entries are out-of-band steps) into a SweepResult, applying
+// the same argmax and power-weighted centroid refinement a monolithic
+// sweep computes. Keeping the merge here — and iterating strictly in grid
+// order — is what makes a fleet-sharded sweep bit-identical to a local one
+// at any shard layout.
+func AssembleSweep(points []*SweepPoint) (*SweepResult, error) {
 	res := &SweepResult{PeakDBm: math.Inf(-1)}
 	for _, pt := range points {
 		if pt == nil {
@@ -119,8 +155,7 @@ func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepR
 		}
 	}
 	if len(res.Points) == 0 {
-		return nil, fmt.Errorf("core: no clock step put the probe loop inside the band [%v, %v]",
-			b.Band.Lo, b.Band.Hi)
+		return nil, fmt.Errorf("core: no clock step put the probe loop inside the band")
 	}
 	// Resonance estimate. Two refinements over a bare argmax:
 	//

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/fleet"
 	"repro/internal/ga"
 	"repro/internal/isa"
 	"repro/internal/platform"
@@ -49,24 +50,60 @@ type vminRow struct {
 // domain through its backend. Viruses are repeated per the paper (worst
 // of N); plain benchmarks get a single search. The trial RNG is keyed by
 // seed and operating point, so per-load backend calls reproduce the old
-// shared-tester results exactly.
+// shared-tester results exactly. On a fleet, each repeats class becomes
+// one sharded campaign instead of per-load serial calls.
 func (c *Context) vminCampaign(be backend.Backend, domain string, loads map[string]platform.Load,
 	virusNames map[string]bool, order []string) ([]vminRow, error) {
-	var rows []vminRow
-	for _, name := range order {
+	repeatsOf := make([]int, len(order))
+	loadOf := make([]platform.Load, len(order))
+	for i, name := range order {
 		l, ok := loads[name]
 		if !ok {
 			return nil, fmt.Errorf("experiments: no load %q in campaign", name)
 		}
-		repeats := 1
+		loadOf[i] = l
+		repeatsOf[i] = 1
 		if virusNames[name] {
-			repeats = c.vminRepeats()
+			repeatsOf[i] = c.vminRepeats()
 		}
-		res, _, err := be.Vmin(domain, l, c.Opts.Seed+30, repeats)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: vmin of %q: %w", name, err)
+	}
+	results := make([]*vmin.Result, len(order))
+	if f, ok := be.(*fleet.Fleet); ok {
+		done := make([]bool, len(order))
+		for i := range order {
+			if done[i] {
+				continue
+			}
+			var idxs []int
+			var group []platform.Load
+			for j := i; j < len(order); j++ {
+				if !done[j] && repeatsOf[j] == repeatsOf[i] {
+					done[j] = true
+					idxs = append(idxs, j)
+					group = append(group, loadOf[j])
+				}
+			}
+			rs, _, err := f.VminMany(domain, group, c.Opts.Seed+30, repeatsOf[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: vmin campaign: %w", err)
+			}
+			for k, j := range idxs {
+				results[j] = rs[k]
+			}
 		}
-		rows = append(rows, vminRow{Name: name, VminV: res.VminV, DroopV: res.DroopNominalV, Kind: res.Outcome})
+	} else {
+		for i, name := range order {
+			res, _, err := be.Vmin(domain, loadOf[i], c.Opts.Seed+30, repeatsOf[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: vmin of %q: %w", name, err)
+			}
+			results[i] = res
+		}
+	}
+	rows := make([]vminRow, len(order))
+	for i, name := range order {
+		res := results[i]
+		rows[i] = vminRow{Name: name, VminV: res.VminV, DroopV: res.DroopNominalV, Kind: res.Outcome}
 	}
 	return rows, nil
 }

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/detrand"
+	"repro/internal/ga"
+	"repro/internal/isa"
+	"repro/internal/platform"
+)
+
+// fleetMeasurer shards GA fitness evaluation across the fleet. Each
+// individual is one campaign item keyed by its load content hash (the same
+// key the rig-side spectra cache and batch memo use), deduplicated before
+// placement so identical post-mutation children cost one measurement
+// fleet-wide. Breeding lineage hints are forwarded to rigs whose measurers
+// can exploit them; the contract that lineage is a pure performance hint
+// (same bytes either way) is what lets a hinted shard land on a
+// lineage-blind remote without changing the result.
+type fleetMeasurer struct {
+	f    *Fleet
+	spec backend.MeasurerSpec
+	ms   map[*rig]ga.Measurer
+}
+
+// Measurer builds the fleet's GA fitness function. Capability is checked
+// per rig at construction: a droop/ptp request on a voltage-blind domain
+// fails here with the rig's own *backend.CapabilityError (the fleet never
+// routes such shards), and a rig that cannot even answer is condemned
+// rather than fatal.
+func (f *Fleet) Measurer(spec backend.MeasurerSpec) (ga.Measurer, error) {
+	ms := make(map[*rig]ga.Measurer, len(f.rigs))
+	var lastErr error
+	for _, r := range f.rigs {
+		if r.dead.Load() {
+			continue
+		}
+		m, err := r.be.Measurer(spec)
+		if err != nil {
+			if isDeterministicError(err) {
+				return nil, err
+			}
+			r.failed.Add(1)
+			if !r.dead.Swap(true) {
+				f.failovers.Add(1)
+			}
+			lastErr = err
+			continue
+		}
+		ms[r] = m
+	}
+	if len(ms) == 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("fleet: no rig could build a measurer: %w", lastErr)
+		}
+		return nil, fmt.Errorf("fleet: no live rigs")
+	}
+	return &fleetMeasurer{f: f, spec: spec, ms: ms}, nil
+}
+
+// Measure evaluates one sequence through the batch path, so the scalar GA
+// driver inherits failover and checkpoint replay unchanged.
+func (m *fleetMeasurer) Measure(seq []isa.Inst) (float64, float64, error) {
+	res, err := m.MeasureBatch([]ga.BatchItem{{Seq: seq}}, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res[0].Fitness, res[0].DominantHz, nil
+}
+
+// MeasureLineage is Measure with the breeding hint attached.
+func (m *fleetMeasurer) MeasureLineage(seq []isa.Inst, lin *ga.Lineage) (float64, float64, error) {
+	res, err := m.MeasureBatch([]ga.BatchItem{{Seq: seq, Lin: lin}}, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res[0].Fitness, res[0].DominantHz, nil
+}
+
+// MeasureBatch evaluates a whole generation as one campaign: dedup by
+// content, shard across rigs, merge by index. Identical to a single
+// backend's MeasureBatch bit-for-bit at any rig count, slot count or
+// steal schedule.
+func (m *fleetMeasurer) MeasureBatch(items []ga.BatchItem, parallelism int) ([]ga.BatchResult, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	st, err := m.f.State(m.spec.Domain)
+	if err != nil {
+		return nil, err
+	}
+	key := m.f.keyHash("ga", func(h *detrand.Hash) {
+		h.String(m.spec.Domain)
+		h.String(string(m.spec.Metric))
+		h.Int(m.spec.ActiveCores)
+		h.Int(m.spec.Samples)
+		h.Uint64(uint64(m.spec.DSOSeed))
+		h.Float64(st.ClockHz)
+		h.Float64(st.SupplyV)
+		h.Int(st.PoweredCores)
+	})
+
+	// Dedup identical children: one shard per distinct sequence, every
+	// duplicate index fans the shared result back out.
+	hashes := make([]uint64, len(items))
+	uniqOf := make(map[uint64]int, len(items))
+	var uniq []int
+	for i, it := range items {
+		load := platform.Load{Seq: it.Seq, ActiveCores: m.spec.ActiveCores}
+		hashes[i] = load.Hash()
+		if _, ok := uniqOf[hashes[i]]; !ok {
+			uniqOf[hashes[i]] = len(uniq)
+			uniq = append(uniq, i)
+		}
+	}
+	campaignItems := make([]uint64, len(uniq))
+	for k, i := range uniq {
+		campaignItems[k] = hashes[i]
+	}
+
+	c := &campaign[ga.BatchResult]{
+		kind:     "ga",
+		key:      key,
+		items:    campaignItems,
+		slots:    parallelism,
+		eligible: func(r *rig) bool { return m.ms[r] != nil },
+		run: func(r *rig, k int) (ga.BatchResult, error) {
+			it := items[uniq[k]]
+			rm := m.ms[r]
+			var fit, hz float64
+			var err error
+			if lm, ok := rm.(ga.LineageMeasurer); ok && it.Lin != nil {
+				fit, hz, err = lm.MeasureLineage(it.Seq, it.Lin)
+			} else {
+				fit, hz, err = rm.Measure(it.Seq)
+			}
+			if err != nil {
+				return ga.BatchResult{}, err
+			}
+			return ga.BatchResult{Fitness: fit, DominantHz: hz}, nil
+		},
+	}
+	uniqRes, err := runCampaign(m.f, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ga.BatchResult, len(items))
+	for i := range items {
+		out[i] = uniqRes[uniqOf[hashes[i]]]
+	}
+	return out, nil
+}

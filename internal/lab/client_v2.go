@@ -183,6 +183,45 @@ func (c *Client) SweepFull(domain string, cores, samples int) (*core.SweepResult
 	return res, nil
 }
 
+// SweepAt measures one fast-sweep point at an explicit clock setting (the
+// protocol-v3 verb behind fleet-sharded sweeps). A nil point with a nil
+// error means the probe loop falls outside the daemon bench's search band
+// at that clock — the same contract as core.SweepPointAt.
+func (c *Client) SweepAt(domain string, cores, samples int, clockHz float64) (*core.SweepPoint, error) {
+	var pt *core.SweepPoint
+	err := c.do(command{
+		verb: "SWEEPAT",
+		line: fmt.Sprintf("SWEEPAT %s %d %d %g", domain, cores, samples, clockHz),
+		parse: func(payload string) error {
+			fields := strings.Fields(payload)
+			inBand, err := intField(fields, 0, "in-band flag")
+			if err != nil {
+				return err
+			}
+			if inBand == 0 {
+				pt = nil
+				return nil
+			}
+			p := &core.SweepPoint{}
+			if p.ClockHz, err = floatField(fields, 1, "clock"); err != nil {
+				return err
+			}
+			if p.LoopHz, err = floatField(fields, 2, "loop"); err != nil {
+				return err
+			}
+			if p.PeakDBm, err = floatField(fields, 3, "dBm"); err != nil {
+				return err
+			}
+			pt = p
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
 // RemoteVminFull is a full V_MIN campaign result: the worst run plus every
 // per-run V_MIN (Figure 10's distribution data).
 type RemoteVminFull struct {

@@ -18,6 +18,10 @@ import (
 // cycles from different clients cannot clobber each other.
 type Pool struct {
 	free chan *Client
+	// done is closed by Close before the free channel is drained, so a Do
+	// blocked on checkout wakes with ErrClosed instead of sleeping forever
+	// on a channel Close has emptied.
+	done chan struct{}
 
 	mu      sync.Mutex
 	clients []*Client
@@ -31,7 +35,7 @@ func NewPool(addr string, size int, opts Options) (*Pool, error) {
 	if size < 1 {
 		size = 1
 	}
-	p := &Pool{free: make(chan *Client, size)}
+	p := &Pool{free: make(chan *Client, size), done: make(chan struct{})}
 	for i := 0; i < size; i++ {
 		c, err := DialOptions(addr, opts)
 		if err != nil {
@@ -51,17 +55,25 @@ func (p *Pool) Size() int {
 	return len(p.clients)
 }
 
-// Do checks a client out of the pool, runs fn on it, and returns it.
+// Do checks a client out of the pool, runs fn on it, and returns it. A Do
+// racing Close either completes normally (Close waits for the client to
+// come back) or returns ErrClosed; it can never block forever — checkout
+// selects against the pool's closed signal, so a Close that drains the
+// free channel between Do's admission check and its receive wakes the
+// blocked checkout instead of stranding it.
 func (p *Pool) Do(fn func(*Client) error) error {
-	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c := <-p.free:
+		defer func() { p.free <- c }()
+		return fn(c)
+	case <-p.done:
 		return ErrClosed
 	}
-	c := <-p.free
-	defer func() { p.free <- c }()
-	return fn(c)
 }
 
 // Measurer returns a concurrency-safe GA fitness function: each evaluation
@@ -101,6 +113,7 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.done)
 	clients := p.clients
 	p.mu.Unlock()
 

@@ -56,6 +56,15 @@
 //	                                → OK <n> <startHz> <rbwHz> <dbm...>
 //	STATS <domain>                  → OK <quoted eval-stats string>
 //
+// Protocol v3 adds the single verb a fleet coordinator needs to shard a
+// resonance sweep across rigs at clock-step granularity (a v2 daemon still
+// serves everything above; the client falls back to whole-sweep routing):
+//
+//	SWEEPAT <domain> <cores> <samples> <clockHz>
+//	                                → OK 1 <clock> <loop> <dbm>, or
+//	                                  OK 0 when the probe loop falls
+//	                                  outside the search band at that clock
+//
 // Responses are "OK ..." or "ERR <message>". An ERR reply leaves the
 // session usable; a malformed line (or one longer than the limit) closes
 // it. Requests stay under maxLineLen; v2 replies may carry a whole sweep
@@ -89,8 +98,10 @@ const (
 
 // ProtocolVersion is the protocol revision this package speaks. Version 2
 // added the backend-layer verbs (HELLO/CAPS/STATE/SWEEPFULL/VMINFULL/
-// SHMOO/VMEASURE/MONITOR/STATS); the v1 subset is still served unchanged.
-const ProtocolVersion = 2
+// SHMOO/VMEASURE/MONITOR/STATS); version 3 added SWEEPAT (per-point sweep
+// sharding for fleet coordinators). The v1/v2 subsets are still served
+// unchanged and HELLO negotiates down for older peers.
+const ProtocolVersion = 3
 
 // Protocol hard limits: a LOAD body may declare at most maxProgramLines
 // lines, and no single request or program line may exceed maxLineLen

@@ -297,6 +297,8 @@ func (s *Server) dispatch(sess *session, r *bufio.Reader, w *bufio.Writer, line 
 		return false, s.cmdState(w, fields)
 	case "SWEEPFULL":
 		return false, s.cmdSweepFull(w, fields)
+	case "SWEEPAT":
+		return false, s.cmdSweepAt(w, fields)
 	case "VMINFULL":
 		return false, s.cmdVminFull(sess, w, fields)
 	case "SHMOO":

@@ -120,6 +120,53 @@ func (s *Server) cmdSweepFull(w *bufio.Writer, fields []string) error {
 	return writeLine(w, "%s", b.String())
 }
 
+// cmdSweepAt serves one fast-sweep point at an explicit clock setting —
+// the protocol-v3 primitive behind fleet-sharded sweeps. The point is
+// evaluated through the stateless SweepPointAt path, so the domain's live
+// clock setting is untouched and concurrent sessions' points cannot
+// interfere; "OK 0" reports an out-of-band step.
+func (s *Server) cmdSweepAt(w *bufio.Writer, fields []string) error {
+	if len(fields) != 5 {
+		return fmt.Errorf("usage: SWEEPAT <domain> <cores> <samples> <clockHz>")
+	}
+	d, err := s.domain(fields[1])
+	if err != nil {
+		return err
+	}
+	cores, err := intField(fields, 2, "cores")
+	if err != nil {
+		return err
+	}
+	samples, err := intField(fields, 3, "samples")
+	if err != nil {
+		return err
+	}
+	if samples < 1 || samples > 1000 {
+		return fmt.Errorf("sample count %d out of range", samples)
+	}
+	clock, err := floatField(fields, 4, "clock")
+	if err != nil {
+		return err
+	}
+	bench := s.Bench
+	if samples != bench.Samples {
+		b2 := *bench
+		b2.Samples = samples
+		bench = &b2
+	}
+	l := s.domLock(d.Spec.Name)
+	l.RLock()
+	pt, err := bench.SweepPointAt(d, cores, clock)
+	l.RUnlock()
+	if err != nil {
+		return err
+	}
+	if pt == nil {
+		return writeLine(w, "%s 0", replyOK)
+	}
+	return writeLine(w, "%s 1 %g %g %g", replyOK, pt.ClockHz, pt.LoopHz, pt.PeakDBm)
+}
+
 // cmdVminFull is VMIN with the workstation's tester seed and the full
 // per-run V_MIN list. The v1 VMIN pinned seed 1; carrying the seed is what
 // lets a remote campaign reproduce a local one bit-for-bit.

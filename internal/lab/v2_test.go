@@ -160,7 +160,13 @@ func TestChaosSweepAndShmooMatchDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer proxy.Close()
-	c, err := DialOptions(proxy.Addr(), fastOpts())
+	// SHMOO and VMIN compute a whole search server-side before the first
+	// reply byte; under -race instrumentation that can exceed the harsh
+	// 500ms fast-test budget, so this test alone gets a roomier I/O window
+	// (retries are still exercised by the drop/garble rates above).
+	opts := fastOpts()
+	opts.IOTimeout = 5 * time.Second
+	c, err := DialOptions(proxy.Addr(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
