@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
 .PHONY: all build test tier1 tier1-remote tier1-fleet race vet bench bench-all bench-compare perf-gate chaos fmt
 
@@ -80,7 +80,7 @@ bench-compare:
 # but not compared.
 perf-gate:
 	$(MAKE) bench BENCH_OUT=BENCH_head.json
-	$(MAKE) bench-compare OLD=BENCH_pr6.json NEW=BENCH_head.json
+	$(MAKE) bench-compare OLD=BENCH_pr7.json NEW=BENCH_head.json
 
 # The full benchmark suite, one iteration each (smoke).
 bench-all:

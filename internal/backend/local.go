@@ -195,7 +195,10 @@ func (l *Local) Measurer(spec MeasurerSpec) (ga.Measurer, error) {
 	}
 }
 
-// ResonanceSweep runs the fast resonance sweep.
+// ResonanceSweep runs the fast resonance sweep. The whole clock grid goes
+// through core.Bench.SweepBatch: one probe build, one primed trace, one
+// band-prefilter pass, arena-backed spectra — bit-identical to the
+// per-point path a fleet shard handler drives via SweepPoint.
 func (l *Local) ResonanceSweep(name string, activeCores, samples int) (*core.SweepResult, error) {
 	d, err := l.domain(name)
 	if err != nil {
@@ -204,7 +207,9 @@ func (l *Local) ResonanceSweep(name string, activeCores, samples int) (*core.Swe
 	return l.benchWithSamples(samples).FastResonanceSweep(d, activeCores)
 }
 
-// SweepPoint measures one fast-sweep point at an explicit clock setting.
+// SweepPoint measures one fast-sweep point at an explicit clock setting
+// (the single-point form of the batched sweep, so a sharded grid and a
+// local batch agree bit for bit).
 func (l *Local) SweepPoint(name string, activeCores, samples int, clockHz float64) (*core.SweepPoint, error) {
 	d, err := l.domain(name)
 	if err != nil {
@@ -218,7 +223,9 @@ func (l *Local) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, e
 	return l.bench.MonitorAll(loads)
 }
 
-// Vmin runs a repeated V_MIN search.
+// Vmin runs a repeated V_MIN search. All repeats descend one batched
+// supply ladder (vmin.Tester.Repeat), so the electrical evaluation of
+// revisited voltage steps amortizes across runs.
 func (l *Local) Vmin(name string, load platform.Load, seed int64, repeats int) (*vmin.Result, []float64, error) {
 	d, err := l.domain(name)
 	if err != nil {
@@ -229,7 +236,11 @@ func (l *Local) Vmin(name string, load platform.Load, seed int64, repeats int) (
 	return tester.Repeat(load, repeats)
 }
 
-// VminShmoo traces the frequency/voltage failure boundary.
+// VminShmoo traces the frequency/voltage failure boundary. The batched
+// shmoo primes the workload trace once, dedups clocks that snap onto the
+// same DVFS step, and descends per-column supply ladders — results are
+// bit-identical to per-clock searches, which is what the fleet's one-cell
+// ShmooGrid shards rely on.
 func (l *Local) VminShmoo(name string, load platform.Load, seed int64, clocks []float64) ([]vmin.ShmooPoint, error) {
 	d, err := l.domain(name)
 	if err != nil {

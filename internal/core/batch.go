@@ -9,6 +9,7 @@ import (
 	"repro/internal/detrand"
 	"repro/internal/em"
 	"repro/internal/ga"
+	"repro/internal/isa"
 	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/slab"
@@ -86,6 +87,12 @@ type batchState struct {
 	memo      map[batchMemoKey]*list.Element
 	order     list.List // front = most recently used *batchMemoEnt
 	arenaPool sync.Pool // *slab.Arena
+
+	// probeMu guards probes, the per-domain memo of the built probe loop
+	// (deterministic in the domain spec, so sweep campaigns skip rebuilding
+	// the ISA pool and chaining the sequence on every call).
+	probeMu sync.Mutex
+	probes  map[*platform.Domain][]isa.Inst
 
 	batches, items, measured, dedup, memoHits atomic.Uint64
 	arenaBytes, workerSlots                   atomic.Uint64

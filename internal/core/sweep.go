@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/em"
 	"repro/internal/instrument"
-	"repro/internal/par"
+	"repro/internal/isa"
 	"repro/internal/platform"
 	"repro/internal/workload"
 )
@@ -44,62 +44,55 @@ func SweepClockSteps(d *platform.Domain) []float64 {
 	return steps
 }
 
+// buildProbe materializes the fixed two-phase probe loop against the
+// domain's instruction pool. Campaign paths call it once per campaign; the
+// per-point path below pays it once per point, which is why pre-batch rigs
+// (the fleet's SWEEPFULL fallback) route whole grids through SweepBatch.
+func buildProbe(d *platform.Domain) ([]isa.Inst, error) {
+	return workload.Probe().Build(d.Spec.Pool())
+}
+
+// cachedProbe is buildProbe memoized per domain on the bench's batch
+// state. The probe is a pure function of the domain spec, so fleet shard
+// handlers issuing many single-point SweepBatch calls against one domain
+// build the ISA pool and chain the sequence exactly once.
+func (b *Bench) cachedProbe(d *platform.Domain) ([]isa.Inst, error) {
+	st := b.batchSt()
+	st.probeMu.Lock()
+	probe, ok := st.probes[d]
+	st.probeMu.Unlock()
+	if ok {
+		return probe, nil
+	}
+	probe, err := buildProbe(d)
+	if err != nil {
+		return nil, err
+	}
+	st.probeMu.Lock()
+	if st.probes == nil {
+		st.probes = make(map[*platform.Domain][]isa.Inst)
+	}
+	st.probes[d] = probe
+	st.probeMu.Unlock()
+	return probe, nil
+}
+
 // SweepPointAt evaluates one step of the Section 5.3 fast sweep at an
 // explicit clock setting: the probe loop's frequency at that clock, and
 // the received EM amplitude at the loop fundamental. It returns nil (and
 // no error) when the loop frequency falls outside the bench's search band
-// — only in-band points can reveal the resonance. The evaluation goes
-// through the stateless SpectraAt path, so the domain's live clock setting
-// is never touched and concurrent points cannot interfere.
+// — only in-band points can reveal the resonance. It is the single-point
+// form of SweepBatch (the fleet's SWEEPAT shard handler measures assigned
+// grid slices through it), so the evaluation is stateless — the domain's
+// live clock setting is never touched and concurrent points cannot
+// interfere — and bit-identical to any batched or sharded layout that
+// includes the same snapped clock.
 func (b *Bench) SweepPointAt(d *platform.Domain, activeCores int, clockHz float64) (*SweepPoint, error) {
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	probe, err := workload.Probe().Build(d.Spec.Pool())
+	pts, err := b.SweepBatch(d, activeCores, []float64{clockHz})
 	if err != nil {
 		return nil, err
 	}
-	clock, err := d.SnapClock(clockHz)
-	if err != nil {
-		return nil, err
-	}
-	l := platform.Load{Seq: probe, ActiveCores: activeCores}
-	// Band-filter on the loop frequency before paying for the full
-	// spectra pipeline: LoopHzAt shares SpectraAt's simulation sizing
-	// (with the trace cache warm it is nearly free), so out-of-band
-	// clock steps skip the resample + FFT + analyzer entirely and the
-	// in-band point set is unchanged.
-	loopHz, _, err := d.LoopHzAt(l, b.Dt, b.N, clock)
-	if err != nil {
-		return nil, err
-	}
-	if loopHz <= 0 {
-		return nil, fmt.Errorf("core: probe loop frequency unresolved at %v Hz clock", clock)
-	}
-	if loopHz < b.Band.Lo || loopHz > b.Band.Hi {
-		return nil, nil
-	}
-	freqs, _, iAmp, _, err := d.SpectraAt(l, b.Dt, b.N, clock)
-	if err != nil {
-		return nil, err
-	}
-	_, watts, err := em.CombinedSpectrum(b.Platform.Antenna, []em.Emitter{
-		{Freqs: freqs, IAmp: iAmp, Path: d.Spec.EMPath},
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Measure the spike at the loop fundamental. The band must cover
-	// the analyzer's RBW re-binning: a spike within one FFT bin of the
-	// loop frequency can land in an RBW bin whose centre is up to
-	// RBW/2 + binW away.
-	binW := 1 / (float64(b.N) * b.Dt)
-	half := b.Analyzer.RBWHz + 2*binW
-	m, err := b.Analyzer.MeasurePeak(freqs, watts, loopHz-half, loopHz+half, b.Samples)
-	if err != nil {
-		return nil, err
-	}
-	return &SweepPoint{ClockHz: clock, LoopHz: loopHz, PeakDBm: m.PeakDBm}, nil
+	return pts[0], nil
 }
 
 // FastResonanceSweep implements the Section 5.3 method: run the fixed
@@ -107,29 +100,16 @@ func (b *Bench) SweepPointAt(d *platform.Domain, activeCores int, clockHz float6
 // full range (which modulates the loop frequency proportionally), and at
 // each step record the EM amplitude near the loop fundamental. The loop
 // frequency with the strongest emission is the first-order resonance.
-// Clock steps are independent operating points evaluated through the
-// stateless SweepPointAt path on up to b.Parallelism workers; the domain's
-// clock setting is never touched and results are collected by step index,
-// so serial and parallel sweeps are identical — as are sweeps whose points
+// The whole grid goes through SweepBatch — one bench validation, one probe
+// build, one primed trace, one band prefilter pass, arena-backed spectra on
+// up to b.Parallelism workers — and results are collected by step index, so
+// serial and parallel sweeps are identical — as are sweeps whose points
 // were measured on different rigs of a fleet, which is what lets
 // internal/fleet shard this grid and reassemble via AssembleSweep.
 func (b *Bench) FastResonanceSweep(d *platform.Domain, activeCores int) (*SweepResult, error) {
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	steps := SweepClockSteps(d)
-
 	// points[i] stays nil when step i's loop frequency falls outside the
 	// search band (only in-band loop frequencies can reveal the resonance).
-	points := make([]*SweepPoint, len(steps))
-	err := par.ForEach(b.Parallelism, len(steps), func(i int) error {
-		pt, err := b.SweepPointAt(d, activeCores, steps[i])
-		if err != nil {
-			return err
-		}
-		points[i] = pt
-		return nil
-	})
+	points, err := b.SweepBatch(d, activeCores, SweepClockSteps(d))
 	if err != nil {
 		return nil, err
 	}

@@ -240,6 +240,56 @@ func IRFFT(spec []complex128, n int) []float64 {
 	return out
 }
 
+// IRFFTInto is IRFFT writing the time-domain signal into dst — len(dst)
+// must be n — using a caller-provided work buffer of at least
+// RFFTScratchLen(n) entries instead of the plan's scratch pool. Batched
+// response paths (the V_MIN ladder) use it to keep every per-supply
+// inversion in per-worker slab rows. The untangle, transform and
+// deinterleave run the same arithmetic in the same order as IRFFT, so the
+// filled signal is bit-identical; dst is returned.
+func IRFFTInto(dst []float64, spec []complex128, n int, scratch []complex128) []float64 {
+	if n == 0 {
+		return dst[:0]
+	}
+	half := n/2 + 1
+	if len(spec) != half {
+		panic(fmt.Sprintf("dsp: IRFFTInto of %d bins for length %d (want %d)", len(spec), n, half))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: IRFFTInto dst of %d for length %d", len(dst), n))
+	}
+	if n%2 != 0 {
+		// Odd lengths use the full-transform fallback either way.
+		copy(dst, IRFFT(spec, n))
+		return dst
+	}
+	m := n / 2
+	if len(scratch) < m {
+		panic(fmt.Sprintf("dsp: IRFFTInto scratch of %d for length %d (want %d)", len(scratch), n, m))
+	}
+	p := rfftPlanFor(n)
+	z := scratch[:m]
+	for k := 0; k < m; k++ {
+		xk := spec[k]
+		xmk := cmplx.Conj(spec[m-k])
+		e := (xk + xmk) * 0.5
+		o := (xk - xmk) * 0.5 * cmplx.Conj(p.w[k])
+		z[k] = e + complex(0, 1)*o
+	}
+	Z := z
+	if m&(m-1) == 0 {
+		fftRadix2(Z, true)
+	} else {
+		Z = bluestein(Z, true)
+	}
+	inv := 1 / float64(m)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(Z[j]) * inv
+		dst[2*j+1] = imag(Z[j]) * inv
+	}
+	return dst
+}
+
 // CAbs returns |c| without the overflow/underflow guards of cmplx.Abs —
 // appropriate for spectra whose magnitudes are nowhere near the float64
 // range limits, and measurably cheaper in per-bin loops.

@@ -170,3 +170,25 @@ func TestRFFTIntoBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestIRFFTIntoBitIdentical: the slab-row inverse must reproduce IRFFT bit
+// for bit at every length — the V_MIN ladder's bit-identity to the scalar
+// SteadyState path rests on it.
+func TestIRFFTIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range rfftLengths {
+		spec := RFFT(randSignal(rng, n))
+		want := IRFFT(spec, n)
+		dst := make([]float64, n)
+		scratch := make([]complex128, RFFTScratchLen(n))
+		got := IRFFTInto(dst, spec, n, scratch)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d samples, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d sample %d: IRFFTInto %v != IRFFT %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -23,9 +23,13 @@ type sweepShard struct {
 // sharded across the fleet: each DVFS step is one campaign item, measured
 // on whichever rig gets to it first, then assembled in grid order — the
 // same argmax/centroid reduction FastResonanceSweep applies locally, so
-// the fleet sweep is bit-identical to a single-rig sweep. Rigs without the
-// per-point verb (pre-v3 daemons) are excluded at placement time; if no
-// rig has it, the whole sweep routes to one rig unsharded.
+// the fleet sweep is bit-identical to a single-rig sweep. Both sides of
+// the shard boundary run core.Bench.SweepBatch — the rig handler as a
+// single-point batch per SWEEPAT item, the SWEEPFULL fallback as one
+// whole-grid batch — so every point is the same pure function of its
+// snapped clock regardless of layout. Rigs without the per-point verb
+// (pre-v3 daemons) are excluded at placement time; if no rig has it, the
+// whole sweep routes to one rig unsharded.
 func (f *Fleet) ResonanceSweep(domain string, activeCores, samples int) (*core.SweepResult, error) {
 	caps, err := f.Caps(domain)
 	if err != nil {

@@ -567,3 +567,66 @@ func TestFleetCapabilityPlacement(t *testing.T) {
 		t.Fatalf("droop on voltage-blind domain: %v, want *CapabilityError", err)
 	}
 }
+
+// TestFleetThreeRigShardLayout pins the batched campaign paths through a
+// wider shard surface: three rigs (two local, one remote daemon behind a
+// chaos proxy) carve up the sweep grid and a shmoo lattice with duplicate
+// clock requests. Every rig-side point runs the batched evaluators
+// (single-point SweepBatch, one-cell Shmoo), so this is the end-to-end
+// check that batch economics never leak into values at any shard layout.
+func TestFleetThreeRigShardLayout(t *testing.T) {
+	single := localRig(t)
+	wantSweep, err := single.ResonanceSweep(testDomain, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := single.Caps(testDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	load := platform.Load{Seq: caps.Pool().RandomSequence(rng, 24), ActiveCores: 2}
+	steps := caps.ClockSteps()
+	// Duplicates included: the lattice dedup must survive sharding.
+	clocks := []float64{steps[len(steps)-1], steps[len(steps)/2], steps[len(steps)-1]}
+	wantShmoo, err := single.VminShmoo(testDomain, load, 3, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVmin, wantRuns, err := single.Vmin(testDomain, load, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVmin.Trials = nil // fleet results are layout-independent
+
+	remote, _ := remoteRig(t)
+	f := newFleet(t, fleet.Options{Slots: 2},
+		fleet.Rig{Name: "l0", Backend: localRig(t)},
+		fleet.Rig{Name: "l1", Backend: localRig(t)},
+		fleet.Rig{Name: "remote", Backend: remote})
+
+	gotSweep, err := f.ResonanceSweep(testDomain, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSweep, wantSweep) {
+		t.Fatal("3-rig sweep differs from single-backend sweep")
+	}
+	gotShmoo, err := f.VminShmoo(testDomain, load, 3, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotShmoo, wantShmoo) {
+		t.Fatal("3-rig shmoo differs from single-backend shmoo")
+	}
+	if !reflect.DeepEqual(gotShmoo[0], gotShmoo[2]) {
+		t.Fatal("duplicate clock requests diverged across the shard layout")
+	}
+	results, runs, err := f.VminMany(testDomain, []platform.Load{load}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0], wantVmin) || !reflect.DeepEqual(runs[0], wantRuns) {
+		t.Fatal("3-rig vmin differs from single-backend search")
+	}
+}

@@ -139,24 +139,37 @@ func (sa *SpectrumAnalyzer) rebinInto(acc, freqs, watts []float64) {
 	}
 }
 
-// accPool recycles the re-binned power buffer between MeasurePeak calls.
-var accPool sync.Pool
-
-func getAcc(n int) []float64 {
-	if p, _ := accPool.Get().(*[]float64); p != nil && cap(*p) >= n {
-		acc := (*p)[:n]
-		clear(acc)
-		return acc
-	}
-	return make([]float64, n)
+// freqVote is one per-sweep peak-bin tally. A short slice replaces the
+// map: samples is small (3–30), so a linear scan is cheaper than hashing
+// and the winner — highest count, ties to the lowest frequency — is the
+// same either way.
+type freqVote struct {
+	f float64
+	n int
 }
 
-func putAcc(acc []float64) {
-	if cap(acc) == 0 {
-		return
-	}
-	accPool.Put(&acc)
+// peakScratch carries MeasurePeak's per-call accumulators — the re-binned
+// power buffer, the per-sweep peaks, and the peak-bin votes — between
+// calls, so a sweep campaign's measurement loop allocates only its
+// Measurement. The acc buffer grows monotonically toward the widest band
+// measured, after which every call reuses it.
+type peakScratch struct {
+	acc   []float64
+	peaks []float64
+	votes []freqVote
 }
+
+func (sc *peakScratch) accFor(n int) []float64 {
+	if cap(sc.acc) < n {
+		sc.acc = make([]float64, n)
+		return sc.acc
+	}
+	sc.acc = sc.acc[:n]
+	clear(sc.acc)
+	return sc.acc
+}
+
+var peakScratchPool = sync.Pool{New: func() any { return new(peakScratch) }}
 
 // BinCenters returns the center frequencies of n RBW bins starting at
 // startHz. It is the single definition of the analyzer's frequency grid:
@@ -220,11 +233,12 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 	for bLimit < nBins && sa.StartHz+(float64(bLimit)+0.5)*sa.RBWHz <= hi {
 		bLimit++
 	}
-	acc := getAcc(bLimit) // noise-independent; shared by all samples
+	sc := peakScratchPool.Get().(*peakScratch)
+	acc := sc.accFor(bLimit) // noise-independent; shared by all samples
 	sa.rebinInto(acc, freqs, watts)
 	floor := dsp.FromDBm(sa.NoiseFloorDBm)
-	peaks := make([]float64, 0, samples)
-	freqVotes := make(map[float64]int)
+	peaks := sc.peaks[:0]
+	votes := sc.votes[:0]
 	for s := 0; s < samples; s++ {
 		rng := detrand.PooledStream(sa.seed, h, uint64(s))
 		peakF, peakDBm, ok := 0.0, math.Inf(-1), false
@@ -242,13 +256,23 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 		}
 		detrand.Recycle(rng)
 		if !ok {
-			putAcc(acc)
+			sc.peaks, sc.votes = peaks, votes
+			peakScratchPool.Put(sc)
 			return nil, fmt.Errorf("instrument: band [%v, %v] outside analyzer span", lo, hi)
 		}
 		peaks = append(peaks, peakDBm)
-		freqVotes[peakF]++
+		voted := false
+		for i := range votes {
+			if votes[i].f == peakF {
+				votes[i].n++
+				voted = true
+				break
+			}
+		}
+		if !voted {
+			votes = append(votes, freqVote{f: peakF, n: 1})
+		}
 	}
-	putAcc(acc)
 	// RMS in linear power terms, reported in dBm.
 	var sum float64
 	for _, dbm := range peaks {
@@ -263,11 +287,13 @@ func (sa *SpectrumAnalyzer) MeasurePeak(freqs, watts []float64, lo, hi float64, 
 	}
 	var domFreq float64
 	best := -1
-	for f, n := range freqVotes {
-		if n > best || (n == best && f < domFreq) {
-			domFreq, best = f, n
+	for _, v := range votes {
+		if v.n > best || (v.n == best && v.f < domFreq) {
+			domFreq, best = v.f, v.n
 		}
 	}
+	sc.peaks, sc.votes = peaks, votes
+	peakScratchPool.Put(sc)
 	return &Measurement{
 		PeakDBm:  dsp.DBm(rms),
 		PeakHz:   domFreq,

@@ -79,7 +79,11 @@ func (s *Server) cmdState(w *bufio.Writer, fields []string) error {
 
 // cmdSweepFull is SWEEP with an explicit sample count and the full point
 // list in the reply, so the workstation can render the same table a local
-// sweep would.
+// sweep would. This is also the fleet's fallback for pre-v3 rigs that lack
+// SWEEPAT: the whole grid runs here as one core.Bench.SweepBatch campaign
+// (one probe build, one primed trace, one band-prefilter pass), so an
+// unsharded rig pays batch economics and still agrees bit for bit with a
+// sharded layout.
 func (s *Server) cmdSweepFull(w *bufio.Writer, fields []string) error {
 	if len(fields) != 4 {
 		return fmt.Errorf("usage: SWEEPFULL <domain> <cores> <samples>")
@@ -122,9 +126,11 @@ func (s *Server) cmdSweepFull(w *bufio.Writer, fields []string) error {
 
 // cmdSweepAt serves one fast-sweep point at an explicit clock setting —
 // the protocol-v3 primitive behind fleet-sharded sweeps. The point is
-// evaluated through the stateless SweepPointAt path, so the domain's live
-// clock setting is untouched and concurrent sessions' points cannot
-// interfere; "OK 0" reports an out-of-band step.
+// evaluated through the stateless SweepPointAt path (a single-point
+// SweepBatch), so the domain's live clock setting is untouched, concurrent
+// sessions' points cannot interfere, and the shard agrees bit for bit with
+// the same clock inside a whole-grid batch; "OK 0" reports an out-of-band
+// step.
 func (s *Server) cmdSweepAt(w *bufio.Writer, fields []string) error {
 	if len(fields) != 5 {
 		return fmt.Errorf("usage: SWEEPAT <domain> <cores> <samples> <clockHz>")
@@ -208,9 +214,11 @@ func (s *Server) cmdVminFull(sess *session, w *bufio.Writer, fields []string) er
 }
 
 // cmdShmoo runs the frequency/voltage shmoo of the loaded workload over
-// the clock list in the request. Per-point trial noise is keyed by
-// content (seed, load, operating point), so the target's parallelism
-// cannot change any value.
+// the clock list in the request, through vmin's batched campaign path
+// (one primed trace, snapped-clock dedup, per-column supply ladders).
+// Per-point trial noise is keyed by content (seed, load, operating
+// point), so neither the target's parallelism nor a fleet's one-cell
+// shard layout can change any value.
 func (s *Server) cmdShmoo(sess *session, w *bufio.Writer, fields []string) error {
 	if len(fields) < 3 {
 		return fmt.Errorf("usage: SHMOO <seed> <clockHz>...")

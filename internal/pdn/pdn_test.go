@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/circuit"
+	"repro/internal/dsp"
 )
 
 // testParams is an A72-like PDN used throughout the package tests.
@@ -396,5 +397,79 @@ func TestTransientUsesLoadWaveform(t *testing.T) {
 	first := resp.VDie[0]
 	if math.Abs(first-last) > 1e-6 {
 		t.Fatalf("DC load not quiescent from OP: %v vs %v", first, last)
+	}
+}
+
+// TestSteadyStateIntoBitIdentical: the slab-row steady-state solver must
+// reproduce SteadyStateAt bit for bit — both time series, at several
+// lengths and supplies — since the V_MIN ladder's per-supply remainder is
+// exactly this call.
+func TestSteadyStateIntoBitIdentical(t *testing.T) {
+	m := newTestModel(t, 2)
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{256, 1000, 1024} {
+		dt := 0.5e-9
+		ts, err := m.Transfers(n, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := make([]float64, n)
+		for i := range load {
+			load[i] = math.Abs(rng.NormFloat64())
+		}
+		for _, supply := range []float64{1.0, 0.91, 0.785} {
+			want, err := ts.SteadyStateAt(load, supply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vdie := make([]float64, n)
+			idie := make([]float64, n)
+			half := n/2 + 1
+			spec := make([]complex128, half)
+			prod := make([]complex128, half)
+			scratch := make([]complex128, dsp.RFFTScratchLen(n))
+			if err := ts.SteadyStateInto(vdie, idie, load, supply, spec, prod, scratch); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if math.Float64bits(vdie[i]) != math.Float64bits(want.VDie[i]) {
+					t.Fatalf("n=%d supply=%v: VDie[%d] %v != %v", n, supply, i, vdie[i], want.VDie[i])
+				}
+				if math.Float64bits(idie[i]) != math.Float64bits(want.IDie[i]) {
+					t.Fatalf("n=%d supply=%v: IDie[%d] %v != %v", n, supply, i, idie[i], want.IDie[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyStateIntoValidation: every mis-sized row is rejected before any
+// write.
+func TestSteadyStateIntoValidation(t *testing.T) {
+	m := newTestModel(t, 2)
+	n := 256
+	ts, err := m.Transfers(n, 0.5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]float64, n)
+	half := n/2 + 1
+	good := func() ([]float64, []float64, []complex128, []complex128, []complex128) {
+		return make([]float64, n), make([]float64, n),
+			make([]complex128, half), make([]complex128, half),
+			make([]complex128, dsp.RFFTScratchLen(n))
+	}
+	vdie, idie, spec, prod, scratch := good()
+	if err := ts.SteadyStateInto(vdie, idie, load[:n-1], 1.0, spec, prod, scratch); err == nil {
+		t.Fatal("short load accepted")
+	}
+	if err := ts.SteadyStateInto(vdie[:n-1], idie, load, 1.0, spec, prod, scratch); err == nil {
+		t.Fatal("short vdie accepted")
+	}
+	if err := ts.SteadyStateInto(vdie, idie, load, 1.0, spec[:half-1], prod, scratch); err == nil {
+		t.Fatal("short spec accepted")
+	}
+	if err := ts.SteadyStateInto(vdie, idie, load, 1.0, spec, prod, scratch[:0]); err == nil {
+		t.Fatal("short scratch accepted")
 	}
 }

@@ -176,6 +176,45 @@ func (ts *TransferSet) SteadyStateAt(load []float64, vnominal float64) (*Respons
 	return out, nil
 }
 
+// SteadyStateInto is SteadyStateAt writing the time-domain responses into
+// caller-provided rows, for batched V_MIN campaigns: vdie and idie must
+// have length N, spec and prod length N/2+1, and fftScratch at least
+// dsp.RFFTScratchLen(N) entries (all batch slab rows; every element is
+// overwritten before any read). The load spectrum computes once; the
+// voltage and current responses then derive per bin from it, so one
+// product row serves both inversions in turn — each per-bin value is the
+// same arithmetic SteadyStateAt performs, so the filled responses are
+// bit-identical.
+func (ts *TransferSet) SteadyStateInto(vdie, idie, load []float64, vnominal float64, spec, prod, fftScratch []complex128) error {
+	n := ts.N
+	if len(load) != n {
+		return fmt.Errorf("pdn: steady-state load length %d, want %d", len(load), n)
+	}
+	if len(vdie) != n || len(idie) != n {
+		return fmt.Errorf("pdn: steady-state destinations %d/%d samples, want %d", len(vdie), len(idie), n)
+	}
+	half := n/2 + 1
+	if len(spec) != half || len(prod) != half {
+		return fmt.Errorf("pdn: steady-state spectra %d/%d bins, want %d", len(spec), len(prod), half)
+	}
+	if len(fftScratch) < dsp.RFFTScratchLen(n) {
+		return fmt.Errorf("pdn: FFT scratch %d, want %d", len(fftScratch), dsp.RFFTScratchLen(n))
+	}
+	dsp.RFFTInto(spec, load, fftScratch)
+	for k := 0; k < half; k++ {
+		prod[k] = spec[k] * ts.HV[k]
+	}
+	dsp.IRFFTInto(vdie, prod, n, fftScratch)
+	for k := 0; k < half; k++ {
+		prod[k] = spec[k] * ts.HI[k]
+	}
+	dsp.IRFFTInto(idie, prod, n, fftScratch)
+	for i := 0; i < n; i++ {
+		vdie[i] = vnominal + vdie[i]
+	}
+	return nil
+}
+
 // Spectra returns the single-sided amplitude spectra of the die voltage and
 // inductor current under the given load waveform (len N): freqs[k] in Hz,
 // amplitudes in volts and amps. The returned freqs slice is shared across

@@ -86,6 +86,7 @@ type Domain struct {
 	spectraMu        sync.Mutex
 	spectra          map[spectraKey]*list.Element
 	spectraOrder     *list.List // of *spectraNode
+	spectraCap       int        // 0 = DefaultSpectraCacheCap
 	spectraHits      atomic.Uint64
 	spectraMisses    atomic.Uint64
 	spectraEvictions atomic.Uint64
@@ -123,9 +124,12 @@ type spectraNode struct {
 	ent *spectraEntry
 }
 
-// spectraCacheCap bounds the memo to the most recently used entries (purity
-// makes the eviction policy invisible to results).
-const spectraCacheCap = 512
+// DefaultSpectraCacheCap bounds the memo to the most recently used entries
+// when no per-domain cap has been configured (purity makes the eviction
+// policy invisible to results). Campaigns whose grid exceeds the configured
+// cap raise it via EnsureSpectraCacheCap so one pass over the grid cannot
+// thrash entries the campaign itself still needs.
+const DefaultSpectraCacheCap = 512
 
 // NewDomain returns a domain at nominal conditions with all cores powered.
 func NewDomain(spec Spec) (*Domain, error) {
@@ -317,4 +321,55 @@ func (d *Domain) transferSetAt(cores int, supply float64, n int, dt float64) (*p
 // (logged by cmd/gahunt -v to make cache effectiveness observable).
 func (d *Domain) SpectraCacheStats() (hits, misses, evictions uint64) {
 	return d.spectraHits.Load(), d.spectraMisses.Load(), d.spectraEvictions.Load()
+}
+
+// SpectraCacheCap returns the domain's effective spectra-memo bound.
+func (d *Domain) SpectraCacheCap() int {
+	d.spectraMu.Lock()
+	defer d.spectraMu.Unlock()
+	return d.spectraCapLocked()
+}
+
+func (d *Domain) spectraCapLocked() int {
+	if d.spectraCap > 0 {
+		return d.spectraCap
+	}
+	return DefaultSpectraCacheCap
+}
+
+// SetSpectraCacheCap sets the spectra-memo bound for this domain; values
+// below 1 restore the default. Shrinking evicts least-recently-used entries
+// immediately — purity makes the eviction invisible to results.
+func (d *Domain) SetSpectraCacheCap(n int) {
+	d.spectraMu.Lock()
+	defer d.spectraMu.Unlock()
+	if n < 1 {
+		n = 0
+	}
+	d.spectraCap = n
+	d.evictSpectraLocked()
+}
+
+// EnsureSpectraCacheCap raises the spectra-memo bound to at least n,
+// never lowering it. Campaign paths call it with their grid size, so a
+// lattice larger than the configured cap cannot evict entries the same
+// campaign is still consuming.
+func (d *Domain) EnsureSpectraCacheCap(n int) {
+	d.spectraMu.Lock()
+	defer d.spectraMu.Unlock()
+	if n > d.spectraCapLocked() {
+		d.spectraCap = n
+	}
+}
+
+// evictSpectraLocked trims the memo to the effective cap; the caller holds
+// spectraMu.
+func (d *Domain) evictSpectraLocked() {
+	limit := d.spectraCapLocked()
+	for len(d.spectra) > limit {
+		back := d.spectraOrder.Back()
+		d.spectraOrder.Remove(back)
+		delete(d.spectra, back.Value.(*spectraNode).key)
+		d.spectraEvictions.Add(1)
+	}
 }

@@ -73,13 +73,7 @@ func (d *Domain) currentAt(l Load, dt float64, n int, clock, supply float64, pow
 	if err := d.validateLoad(l); err != nil {
 		return nil, nil, err
 	}
-	cl := power.ClusterLoad{
-		Core:        d.Spec.Core,
-		Seq:         l.Seq,
-		ClockHz:     clock,
-		ActiveCores: l.ActiveCores,
-		PhaseCycles: l.PhaseCycles,
-	}
+	cl := d.clusterLoad(l, clock)
 	var wave []float64
 	var res *uarch.Result
 	var err error
@@ -228,12 +222,7 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 		d.spectraOrder.MoveToFront(el)
 	} else {
 		d.spectra[key] = d.spectraOrder.PushFront(&spectraNode{key: key, ent: ent})
-		for len(d.spectra) > spectraCacheCap {
-			back := d.spectraOrder.Back()
-			d.spectraOrder.Remove(back)
-			delete(d.spectra, back.Value.(*spectraNode).key)
-			d.spectraEvictions.Add(1)
-		}
+		d.evictSpectraLocked()
 	}
 	d.spectraMu.Unlock()
 	return freqs, vAmp, iAmp, res, nil
@@ -248,14 +237,7 @@ func (d *Domain) LoopHzAt(l Load, dt float64, n int, clockHz float64) (float64, 
 	if err := d.validateLoad(l); err != nil {
 		return 0, nil, err
 	}
-	cl := power.ClusterLoad{
-		Core:        d.Spec.Core,
-		Seq:         l.Seq,
-		ClockHz:     clockHz,
-		ActiveCores: l.ActiveCores,
-		PhaseCycles: l.PhaseCycles,
-	}
-	return cl.LoopHz(dt, n)
+	return d.clusterLoad(l, clockHz).LoopHz(dt, n)
 }
 
 // TransientResponse integrates the PDN under the workload's current

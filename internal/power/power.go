@@ -51,58 +51,154 @@ func (cl ClusterLoad) Validate() error {
 	return nil
 }
 
-// steadyRun sizes and runs the simulation for a dt×n sample window,
-// returning the result Current resamples together with the window (in
-// cycles) and the period-snap scale. The sizing is two-stage: the snap
-// decision reads the loop period from a minimally sized run, and the
-// snapped window may then need a slightly longer trace (the warp is
-// bounded at 5%). With the trace cache enabled, one simulation covering
-// the 5% bound is primed up front so both stages are served as pure cache
-// hits — prefix-consistent synthesis keeps every stage bit-identical to
-// running the simulator per stage, which is what happens when the cache
-// is disabled.
-func (cl ClusterLoad) steadyRun(dt float64, n int, lin *uarch.Lineage) (res *uarch.Result, window, scale float64, err error) {
-	// Longest phase offset extends the needed steady window.
-	maxPhase := 0.0
+// SteadySim is the sized simulation behind one evaluation of a load on a
+// dt×n sample window: the micro-architectural result Current resamples,
+// the grid it was sized for, and the period-snap scale. Batched campaign
+// paths obtain one per operating point (optionally served from a primed
+// uarch.Trace) and share it between the loop-frequency prefilter and the
+// waveform resample, so no point pays the sizing twice.
+type SteadySim struct {
+	// Res is the micro-architectural result a Current call with the same
+	// grid would return.
+	Res *uarch.Result
+	// Dt and N are the sampling grid the simulation was sized for.
+	Dt float64
+	N  int
+
+	scale float64 // period-snap time-base warp (see steadySim)
+}
+
+// maxPhase returns the longest phase offset, which extends the needed
+// steady window.
+func (cl ClusterLoad) maxPhase() float64 {
+	m := 0.0
 	for _, p := range cl.PhaseCycles {
-		if p > maxPhase {
-			maxPhase = p
+		if p > m {
+			m = p
 		}
 	}
-	window = float64(n) * dt * cl.ClockHz // cycles covered by the sample window
+	return m
+}
+
+// PrimeSteadyCycles returns the steady-window demand (in cycles) an
+// evaluation of this load on a dt×n grid may make of the simulator,
+// including the 5% period-snap headroom. A campaign primes uarch.PrimeTrace
+// with this value at its largest clock; every smaller clock's demand is a
+// covered prefix.
+func (cl ClusterLoad) PrimeSteadyCycles(dt float64, n int) int {
+	maxPhase := cl.maxPhase()
+	window := float64(n) * dt * cl.ClockHz
 	minSteady := int(math.Ceil(window+maxPhase)) + 8
-	// Prime the one backing simulation to cover any snapped window (the warp
-	// is bounded at 5%), so the possible re-run below is a pure cache hit.
-	// With the cache disabled the priming window is ignored and each stage
-	// simulates at its own size — bit-identical either way.
 	upfront := int(math.Ceil(window*1.05+maxPhase)) + 2
-	res, err = uarch.RunLineageWindow(cl.Core, cl.Seq, minSteady, upfront, lin)
-	if err != nil {
-		return nil, 0, 0, err
+	if upfront > minSteady {
+		return upfront
+	}
+	return minSteady
+}
+
+// steadySim sizes the simulation for a dt×n sample window. The sizing is
+// two-stage: the snap decision reads the loop period from a minimally sized
+// run, and the snapped window may then need a slightly longer trace (the
+// warp is bounded at 5%). With the trace cache enabled, one simulation
+// covering the 5% bound is primed up front so both stages are served as
+// pure cache hits — prefix-consistent synthesis keeps every stage
+// bit-identical to running the simulator per stage, which is what happens
+// when the cache is disabled.
+//
+// A non-nil covering tr short-circuits both stages onto the primed history:
+// stage 1 reads only the loop period (no Result materialized) and stage 2
+// synthesizes the one Result the caller keeps — the same prefix synthesis
+// the cache performs, so results stay bit-identical whether the trace, the
+// cache, or a per-stage simulation serves the request.
+func (cl ClusterLoad) steadySim(dt float64, n int, lin *uarch.Lineage, tr *uarch.Trace) (SteadySim, error) {
+	maxPhase := cl.maxPhase()
+	window := float64(n) * dt * cl.ClockHz // cycles covered by the sample window
+	minSteady := int(math.Ceil(window+maxPhase)) + 8
+
+	var res *uarch.Result
+	var loopCycles float64
+	fromTrace := tr.Covers(minSteady)
+	if fromTrace {
+		lc, err := tr.LoopCyclesAt(minSteady)
+		if err != nil {
+			return SteadySim{}, err
+		}
+		loopCycles = lc
+	} else {
+		// Prime the one backing simulation to cover any snapped window (the
+		// warp is bounded at 5%), so the possible re-run below is a pure
+		// cache hit. With the cache disabled the priming window is ignored
+		// and each stage simulates at its own size — bit-identical either way.
+		upfront := int(math.Ceil(window*1.05+maxPhase)) + 2
+		r, err := uarch.RunLineageWindow(cl.Core, cl.Seq, minSteady, upfront, lin)
+		if err != nil {
+			return SteadySim{}, err
+		}
+		res, loopCycles = r, r.LoopCycles
 	}
 	// Period snapping: warp the time base slightly so an integer number of
 	// loop periods fills the window exactly. Downstream FFT analyses then
 	// see a truly periodic signal with no wrap discontinuity (no spectral
 	// leakage splashing into the PDN resonance). The warp is bounded at
 	// 5%; if the window holds less than ~one period, sample unwarped.
-	scale = 1.0
-	if res.LoopCycles > 0 {
-		k := math.Round(window / res.LoopCycles)
+	scale := 1.0
+	if loopCycles > 0 {
+		k := math.Round(window / loopCycles)
 		if k >= 1 {
-			s := k * res.LoopCycles / window
+			s := k * loopCycles / window
 			if math.Abs(s-1) <= 0.05 {
 				scale = s
 			}
 		}
 	}
 	needed := int(math.Ceil(window*scale+maxPhase)) + 2
-	if steadyLen := len(res.SteadyCharge()); steadyLen < needed {
-		res, err = uarch.RunLineage(cl.Core, cl.Seq, needed, lin)
-		if err != nil {
-			return nil, 0, 0, err
+	if fromTrace {
+		// The scalar path re-runs at `needed` only when it exceeds the
+		// stage-1 window (stage 1 always holds exactly minSteady steady
+		// cycles), so synthesize at whichever window that run would keep.
+		size := minSteady
+		if needed > minSteady {
+			size = needed
 		}
+		if !tr.Covers(size) {
+			// The priming window was sized for the 5% bound, so this is
+			// unreachable from PrimeSteadyCycles-sized traces; fall back to
+			// the scalar stage-2 run for under-primed hand-built ones.
+			r, err := uarch.RunLineage(cl.Core, cl.Seq, size, lin)
+			if err != nil {
+				return SteadySim{}, err
+			}
+			res = r
+		} else {
+			r, err := tr.Synth(size)
+			if err != nil {
+				return SteadySim{}, err
+			}
+			res = r
+		}
+	} else if len(res.SteadyCharge()) < needed {
+		r, err := uarch.RunLineage(cl.Core, cl.Seq, needed, lin)
+		if err != nil {
+			return SteadySim{}, err
+		}
+		res = r
 	}
-	return res, window, scale, nil
+	return SteadySim{Res: res, Dt: dt, N: n, scale: scale}, nil
+}
+
+// SteadySimTrace sizes the simulation for a dt×n sample window, drawing
+// from tr when it covers the demand (see PrimeSteadyCycles) and falling
+// back to the scalar per-point sizing otherwise — including for a nil
+// trace, so campaign paths thread an optional priming unconditionally.
+// The returned sim feeds FillFromSim and LoopFrequency.
+func (cl ClusterLoad) SteadySimTrace(dt float64, n int, tr *uarch.Trace) (SteadySim, error) {
+	if err := cl.Validate(); err != nil {
+		return SteadySim{}, err
+	}
+	if dt <= 0 || n < 1 {
+		return SteadySim{}, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
+	}
+	return cl.steadySim(dt, n, nil, tr)
 }
 
 // wavePool recycles current-waveform buffers between Current calls. The
@@ -166,14 +262,37 @@ func (cl ClusterLoad) CurrentLineageInto(dst []float64, dt float64, n int, lin *
 }
 
 // fillCurrent simulates the loop and resamples the cluster current into out
-// (len n). The aligned path overwrites every element; the phased path
-// accumulates, so it clears first.
+// (len n).
 func (cl ClusterLoad) fillCurrent(out []float64, dt float64, n int, lin *uarch.Lineage) (*uarch.Result, error) {
-	res, _, scale, err := cl.steadyRun(dt, n, lin)
+	sim, err := cl.steadySim(dt, n, lin, nil)
 	if err != nil {
 		return nil, err
 	}
-	steady := res.SteadyCharge()
+	cl.fillFromSim(sim, out)
+	return sim.Res, nil
+}
+
+// FillFromSim resamples a prepared simulation into out (len sim.N),
+// exactly as a Current call that performed the sizing itself would — the
+// shared body is what keeps batched campaign points bit-identical to the
+// scalar path.
+func (cl ClusterLoad) FillFromSim(sim SteadySim, out []float64) error {
+	if sim.Res == nil {
+		return fmt.Errorf("power: empty steady sim")
+	}
+	if len(out) != sim.N {
+		return fmt.Errorf("power: waveform buffer length %d, want %d", len(out), sim.N)
+	}
+	cl.fillFromSim(sim, out)
+	return nil
+}
+
+// fillFromSim resamples the simulated charge trace into out. The aligned
+// path overwrites every element; the phased path accumulates, so it clears
+// first.
+func (cl ClusterLoad) fillFromSim(sim SteadySim, out []float64) {
+	dt, n, scale := sim.Dt, sim.N, sim.scale
+	steady := sim.Res.SteadyCharge()
 	if len(cl.PhaseCycles) == 0 {
 		// All cores aligned: every core samples the same trace index, so
 		// resample once and add the per-core value ActiveCores times (the
@@ -206,7 +325,6 @@ func (cl ClusterLoad) fillCurrent(out []float64, dt float64, n int, lin *uarch.L
 		}
 	}
 	applySlew(out, dt, cl.Core.CurrentSlewTau)
-	return res, nil
 }
 
 // LoopHz returns the loop fundamental frequency a Current call with the
@@ -221,11 +339,11 @@ func (cl ClusterLoad) LoopHz(dt float64, n int) (float64, *uarch.Result, error) 
 	if dt <= 0 || n < 1 {
 		return 0, nil, fmt.Errorf("power: invalid sampling dt=%v n=%d", dt, n)
 	}
-	res, _, _, err := cl.steadyRun(dt, n, nil)
+	sim, err := cl.steadySim(dt, n, nil, nil)
 	if err != nil {
 		return 0, nil, err
 	}
-	return LoopFrequency(res, cl.ClockHz), res, nil
+	return LoopFrequency(sim.Res, cl.ClockHz), sim.Res, nil
 }
 
 // applySlew low-passes a (periodic) current waveform in place with the

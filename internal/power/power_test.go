@@ -182,3 +182,86 @@ func TestCurrentBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSteadySimTraceMatchesCurrent pins the batched sizing path: a
+// simulation served from a campaign-primed trace, resampled via
+// FillFromSim, must reproduce the scalar Current waveform bit for bit at
+// every clock the prime covers — including clocks whose stage-2 resize
+// exceeds the stage-1 window.
+func TestSteadySimTraceMatchesCurrent(t *testing.T) {
+	seq := testSeq(t)
+	cfg := uarch.CortexA72()
+	dt, n := 0.5e-9, 2048
+	clocks := []float64{1.2e9, 0.9e9, 0.6e9, 0.12e9}
+
+	uarch.ResetTraceCache()
+	prev := uarch.SetTraceCacheEnabled(false)
+	defer func() { uarch.SetTraceCacheEnabled(prev); uarch.ResetTraceCache() }()
+
+	maxCl := ClusterLoad{Core: cfg, Seq: seq, ClockHz: clocks[0], ActiveCores: 2}
+	tr, err := uarch.PrimeTrace(cfg, seq, maxCl.PrimeSteadyCycles(dt, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clock := range clocks {
+		cl := ClusterLoad{Core: cfg, Seq: seq, ClockHz: clock, ActiveCores: 2}
+		want, wantRes, err := cl.Current(dt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := cl.SteadySimTrace(dt, n, tr)
+		if err != nil {
+			t.Fatalf("clock %v: %v", clock, err)
+		}
+		if math.Float64bits(LoopFrequency(sim.Res, clock)) != math.Float64bits(LoopFrequency(wantRes, clock)) {
+			t.Fatalf("clock %v: loop frequency diverges", clock)
+		}
+		got := make([]float64, n)
+		if err := cl.FillFromSim(sim, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("clock %v: wave[%d] = %v != %v", clock, i, got[i], want[i])
+			}
+		}
+		PutWave(want)
+	}
+
+	// A nil trace must fall back to per-point sizing with identical bits.
+	cl := ClusterLoad{Core: cfg, Seq: seq, ClockHz: clocks[1], ActiveCores: 2}
+	want, _, err := cl.Current(dt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := cl.SteadySimTrace(dt, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, n)
+	if err := cl.FillFromSim(sim, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("nil trace: wave[%d] = %v != %v", i, got[i], want[i])
+		}
+	}
+	PutWave(want)
+}
+
+// TestFillFromSimValidation: an empty sim and a mis-sized row are rejected.
+func TestFillFromSimValidation(t *testing.T) {
+	seq := testSeq(t)
+	cl := ClusterLoad{Core: uarch.CortexA72(), Seq: seq, ClockHz: 1e9, ActiveCores: 1}
+	if err := cl.FillFromSim(SteadySim{}, make([]float64, 4)); err == nil {
+		t.Fatal("empty sim accepted")
+	}
+	sim, err := cl.SteadySimTrace(1e-9, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FillFromSim(sim, make([]float64, 255)); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}

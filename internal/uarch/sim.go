@@ -716,19 +716,25 @@ func (h *traceHist) synth(minSteadyCycles int) (*Result, error) {
 		Warmup:     h.warmup,
 		Iterations: iters,
 	}
-	// Steady-state cycles per iteration from fetch timestamps. The last
-	// few iterations are excluded: fetch runs ahead of issue by the window
-	// occupancy, and occupancy drift at the very end of the run would bias
-	// the average.
+	res.LoopCycles = h.loopCyclesAt(end, iters)
+	res.IPC = float64(h.cumIssued[end-1]-h.cumIssued[h.warmup]) / float64(minSteadyCycles)
+	return res, nil
+}
+
+// loopCyclesAt computes the steady-state cycles-per-iteration statistic of
+// a prefix run ending at cycle end with iters recorded iteration starts —
+// the LoopCycles field synth fills. The last few iterations are excluded:
+// fetch runs ahead of issue by the window occupancy, and occupancy drift at
+// the very end of the run would bias the average. Shared between synth and
+// Trace.LoopCyclesAt so a batched sizing pass that needs only the period
+// reads the identical value without materializing a Result.
+func (h *traceHist) loopCyclesAt(end, iters int) float64 {
 	last := iters - 1
 	if last-4 > warmupIters {
 		last -= 4
 	}
 	if last > warmupIters {
-		res.LoopCycles = float64(h.iterStarts[last]-h.iterStarts[warmupIters]) / float64(last-warmupIters)
-	} else {
-		res.LoopCycles = float64(end) / float64(iters)
+		return float64(h.iterStarts[last]-h.iterStarts[warmupIters]) / float64(last-warmupIters)
 	}
-	res.IPC = float64(h.cumIssued[end-1]-h.cumIssued[h.warmup]) / float64(minSteadyCycles)
-	return res, nil
+	return float64(end) / float64(iters)
 }

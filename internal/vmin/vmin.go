@@ -19,9 +19,12 @@ package vmin
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/detrand"
 	"repro/internal/platform"
+	"repro/internal/slab"
+	"repro/internal/uarch"
 )
 
 // FailureKind classifies the outcome of one execution.
@@ -139,13 +142,20 @@ func (t *Tester) runAt(load platform.Load, clockHz, supply float64, trial int) (
 	if err != nil {
 		return Trial{}, err
 	}
+	return t.classify(load, clockHz, supply, trial, resp.MinVoltage(), resp.MaxDroop(supply)), nil
+}
+
+// classify applies the failure model to one execution's supply-response
+// scalars. It is pure in (load, operating point, trial, minV, droopV) —
+// the jitter stream is content-keyed — which is what lets the batched
+// descent reuse one electrical evaluation across deduped trials.
+func (t *Tester) classify(load platform.Load, clockHz, supply float64, trial int, minV, droopV float64) Trial {
 	rng := t.trialRNG(load, clockHz, supply, trial)
-	minV := resp.MinVoltage()
 	vcrit := t.vcritAt(clockHz) + rng.NormFloat64()*t.ThresholdJitterV
 	tr := Trial{
 		SupplyV:  supply,
 		MinVDie:  minV,
-		DroopV:   resp.MaxDroop(supply),
+		DroopV:   droopV,
 		VCritEff: vcrit,
 	}
 	sdcBand := t.Domain.Spec.Failure.SDCBand
@@ -162,7 +172,7 @@ func (t *Tester) runAt(load platform.Load, clockHz, supply float64, trial int) (
 	default:
 		tr.Outcome = Pass
 	}
-	return tr, nil
+	return tr
 }
 
 // Result is a completed V_MIN search.
@@ -180,25 +190,69 @@ type Result struct {
 	Trials []Trial
 }
 
-// Search lowers the supply from the domain's nominal voltage in the
-// board's V_MIN step size until a deviation is observed. The search runs at
-// the domain's current clock without mutating any domain state.
-func (t *Tester) Search(load platform.Load) (*Result, error) {
-	return t.search(load, t.Domain.ClockHz(), 0)
+// pointEval produces the supply-response scalars the failure model
+// consumes at one supply setting of a fixed (load, clock) column. The
+// descent is written against this signature so the scalar reference path
+// (per-point SteadyResponseAt) and the batched ladder (supply-invariant
+// state frozen in an arena, per-supply memo) are interchangeable — the
+// property tests pin them bit-identical.
+type pointEval func(supply float64) (minV, droopV float64, err error)
+
+// scalarEval is the reference evaluator: every supply step pays the full
+// stateless SteadyResponseAt pipeline.
+func (t *Tester) scalarEval(load platform.Load, clockHz float64) pointEval {
+	return func(supply float64) (float64, float64, error) {
+		resp, _, err := t.Domain.SteadyResponseAt(load, t.Dt, t.N, clockHz, supply)
+		if err != nil {
+			return 0, 0, err
+		}
+		return resp.MinVoltage(), resp.MaxDroop(supply), nil
+	}
 }
 
-// search is Search at an explicit clock with a trial nonce.
+// Search lowers the supply from the domain's nominal voltage in the
+// board's V_MIN step size until a deviation is observed. The search runs at
+// the domain's current clock without mutating any domain state, descending
+// a batched supply ladder: the simulation, base waveform and PDN transfers
+// freeze once per search and each voltage step pays only the scale + FFT
+// remainder.
+func (t *Tester) Search(load platform.Load) (*Result, error) {
+	ar := getArena()
+	defer putArena(ar)
+	return t.searchLadder(load, t.Domain.ClockHz(), 0, nil, ar)
+}
+
+// search is the scalar-reference Search at an explicit clock with a trial
+// nonce, kept (package-internal) as the bit-identity baseline the batched
+// ladder is tested against.
 func (t *Tester) search(load platform.Load, clockHz float64, trial int) (*Result, error) {
+	return t.searchEval(load, clockHz, trial, t.scalarEval(load, clockHz))
+}
+
+// searchLadder is Search at an explicit clock with a trial nonce, its
+// column state frozen in the caller's arena and optionally served from a
+// primed clock-invariant trace (nil falls back to per-column sizing).
+func (t *Tester) searchLadder(load platform.Load, clockHz float64, trial int, tr *uarch.Trace, ar *slab.Arena) (*Result, error) {
+	ld, err := t.Domain.LadderAt(load, t.Dt, t.N, clockHz, tr, ar)
+	if err != nil {
+		return nil, err
+	}
+	return t.searchEval(load, clockHz, trial, ld.MinVDroop)
+}
+
+// searchEval is the descent itself, agnostic of how supply points are
+// evaluated.
+func (t *Tester) searchEval(load platform.Load, clockHz float64, trial int, eval pointEval) (*Result, error) {
 	spec := t.Domain.Spec
 	step := spec.VminStepVolts()
 	nominal := spec.PDN.VNominal
 
 	// Droop at nominal conditions first.
-	nomTrial, err := t.runAt(load, clockHz, nominal, trial)
+	_, nomDroop, err := eval(nominal)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{DroopNominalV: nomTrial.DroopV}
+	res := &Result{DroopNominalV: nomDroop}
 
 	maxSteps := int(nominal/step) + 1
 	for i := 0; i <= maxSteps; i++ {
@@ -206,10 +260,11 @@ func (t *Tester) search(load platform.Load, clockHz float64, trial int) (*Result
 		if supply <= 0 {
 			return nil, fmt.Errorf("vmin: %s: no failure found down to 0V (model miscalibrated?)", spec.Name)
 		}
-		tr, err := t.runAt(load, clockHz, supply, trial)
+		minV, droopV, err := eval(supply)
 		if err != nil {
 			return nil, err
 		}
+		tr := t.classify(load, clockHz, supply, trial, minV, droopV)
 		res.Trials = append(res.Trials, tr)
 		if tr.Outcome != Pass {
 			res.VminV = supply
@@ -224,14 +279,24 @@ func (t *Tester) search(load platform.Load, clockHz float64, trial int) (*Result
 // Repeat performs n independent V_MIN searches (the paper runs 30 per
 // virus) and returns the per-run V_MIN values plus the worst (highest).
 // The run index is the trial nonce, so each repetition sees independent
-// threshold jitter.
+// threshold jitter. All n descents share one ladder: the supply response
+// is a pure function of the operating point, so revisited voltage steps —
+// the nominal point and the whole common prefix of every descent — dedup
+// to one electrical evaluation, and only the jittered classification
+// differs per run.
 func (t *Tester) Repeat(load platform.Load, n int) (worst *Result, all []float64, err error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("vmin: need at least 1 repetition")
 	}
 	clock := t.Domain.ClockHz()
+	ar := getArena()
+	defer putArena(ar)
+	ld, err := t.Domain.LadderAt(load, t.Dt, t.N, clock, nil, ar)
+	if err != nil {
+		return nil, nil, err
+	}
 	for i := 0; i < n; i++ {
-		r, err := t.search(load, clock, i)
+		r, err := t.searchEval(load, clock, i, ld.MinVDroop)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -241,4 +306,21 @@ func (t *Tester) Repeat(load platform.Load, n int) (worst *Result, all []float64
 		}
 	}
 	return worst, all, nil
+}
+
+// arenaPool recycles the per-search (and per-shmoo-worker) slab arenas;
+// after the first few campaigns every search runs allocation-free on the
+// electrical side.
+var arenaPool sync.Pool
+
+func getArena() *slab.Arena {
+	if ar, _ := arenaPool.Get().(*slab.Arena); ar != nil {
+		return ar
+	}
+	return &slab.Arena{}
+}
+
+func putArena(ar *slab.Arena) {
+	ar.Reset()
+	arenaPool.Put(ar)
 }
