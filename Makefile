@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
-.PHONY: all build test tier1 tier1-remote tier1-fleet race vet bench bench-all bench-compare perf-gate chaos fmt
+.PHONY: all build test tier1 tier1-remote tier1-fleet race vet bench bench-all bench-compare perf-gate chaos fmt cache-stress
 
 all: build test
 
@@ -14,8 +14,10 @@ test: build
 
 # The gate runs fmt and vet and forces fresh test execution (no cached
 # results), so a flaky or order-dependent test cannot hide behind the
-# build cache.
+# build cache. The persistent store is cross-process shared mutable state,
+# so its whole suite runs under the race detector here.
 tier1: build fmt vet tier1-remote tier1-fleet
+	GOFLAGS=-count=1 $(GO) test -race ./internal/castore
 	GOFLAGS=-count=1 $(GO) test ./...
 
 # Local/remote backend equivalence: the lab protocol v2 suite and the
@@ -59,7 +61,7 @@ vet:
 # and lineage evaluation), recorded as $(BENCH_OUT) for regression diffing:
 #   make bench BENCH_OUT=BENCH_pr5.json
 bench:
-	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage|BenchmarkGenerationBatch|BenchmarkFleetGeneration' \
+	$(GO) test -bench 'BenchmarkSpectraEvaluation|BenchmarkFitnessEvaluation|BenchmarkResonanceSweep|BenchmarkShmoo|BenchmarkLineage|BenchmarkGenerationBatch|BenchmarkFleetGeneration|BenchmarkWarmStart' \
 		-benchmem -benchtime 1s -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # Diff two benchmark reports; exits nonzero if any benchmark present in
@@ -80,7 +82,14 @@ bench-compare:
 # but not compared.
 perf-gate:
 	$(MAKE) bench BENCH_OUT=BENCH_head.json
-	$(MAKE) bench-compare OLD=BENCH_pr7.json NEW=BENCH_head.json
+	$(MAKE) bench-compare OLD=BENCH_pr8.json NEW=BENCH_head.json
+
+# Hammers the persistent store's concurrent surface (mixed Put/Get/Do under
+# GC pressure, singleflight, cross-handle sharing) repeatedly under the
+# race detector. Longer than tier-1; run before touching castore internals.
+cache-stress:
+	$(GO) test -race -run 'StoreConcurrentAccess|DoSingleflight|CrossStoreSharing|GCEvicts' \
+		-count=10 ./internal/castore
 
 # The full benchmark suite, one iteration each (smoke).
 bench-all:

@@ -16,9 +16,9 @@
 // prints the ns/op and allocs/op deltas for every benchmark present in
 // both files and exits nonzero if any of them regressed by more than 20%
 // in ns/op. New and dropped benchmarks are reported but never fail the
-// comparison. A passing comparison also emits a markdown trajectory table
-// of ns/op across every checked-in BENCH_*.json, so a PR's perf claim
-// reads as a history rather than a single diff.
+// comparison. The comparison also emits a markdown trajectory table of
+// ns/op across every checked-in BENCH_*.json — on failure too, since the
+// history is what distinguishes real drift from a noisy baseline.
 //
 // Usage:
 //
@@ -151,7 +151,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	out := "BENCH_pr4.json"
+	out := "BENCH_pr9.json"
 	var compare []string
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
@@ -298,12 +298,15 @@ func runCompare(oldPath, newPath string) int {
 			fmt.Printf("%-44s %14.0f %14s %8s %9s  (dropped)\n", e.Name, e.NsPerOp, "-", "-", "-")
 		}
 	}
+	// The trajectory prints either way: when the gate fails, the history is
+	// exactly what you need to judge whether the regression is real drift or
+	// a noisy baseline.
+	writeTrajectory(oldPath, newPath)
 	if failed {
 		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%% in ns/op\n", 100*regressionLimit)
 		return 1
 	}
 	fmt.Println("ok: no benchmark regressed past the limit")
-	writeTrajectory(oldPath, newPath)
 	return 0
 }
 

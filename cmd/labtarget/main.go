@@ -31,13 +31,18 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9740", "address to listen on")
-		plat   = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
-		seed   = flag.Int64("seed", 1, "random seed for the bench instruments")
-		jobs   = flag.Int("j", runtime.NumCPU(), "bench parallelism for server-side sweeps and V_MIN campaigns")
+		listen   = flag.String("listen", "127.0.0.1:9740", "address to listen on")
+		plat     = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
+		seed     = flag.Int64("seed", 1, "random seed for the bench instruments")
+		jobs     = flag.Int("j", runtime.NumCPU(), "bench parallelism for server-side sweeps and V_MIN campaigns")
+		cacheDir = flag.String("cache-dir", os.Getenv("REPRO_CACHE_DIR"),
+			"directory of the persistent result cache shared across runs and processes (default $REPRO_CACHE_DIR; empty disables)")
 	)
 	flag.Parse()
 
+	if _, err := cli.InstallCacheDir(*cacheDir); err != nil {
+		fatal(err)
+	}
 	p, err := cli.BuildPlatform(*plat)
 	if err != nil {
 		fatal(err)

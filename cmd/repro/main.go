@@ -43,6 +43,9 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+	if _, err := app.InstallCache(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

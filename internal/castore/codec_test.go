@@ -1,0 +1,131 @@
+package castore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCodecRoundtrip(t *testing.T) {
+	e := NewEnc(64)
+	e.Uint64(0xdeadbeefcafef00d)
+	e.Int(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(math.Copysign(0, -1))
+	e.Float64(math.NaN())
+	e.Float64(1.0 / 3.0)
+	e.String("hello, 世界")
+	e.String("")
+	e.Floats([]float64{1.5, -2.25, math.Inf(1)})
+	e.Floats(nil)
+	e.Int64s([]int64{math.MinInt64, 0, math.MaxInt64})
+	e.Ints([]int{7, -7})
+
+	d := NewDec(e.Bytes())
+	if got := d.Uint64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if got := d.Float64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("negative zero lost: %v (bits %#x)", got, math.Float64bits(got))
+	}
+	if got := d.Float64(); !math.IsNaN(got) {
+		t.Errorf("NaN lost: %v", got)
+	}
+	if got := d.Float64(); got != 1.0/3.0 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	fs := d.Floats()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.25 || !math.IsInf(fs[2], 1) {
+		t.Errorf("Floats = %v", fs)
+	}
+	if got := d.Floats(); got == nil || len(got) != 0 {
+		t.Errorf("nil Floats decoded as %v (want empty non-error)", got)
+	}
+	is := d.Int64s()
+	if len(is) != 3 || is[0] != math.MinInt64 || is[2] != math.MaxInt64 {
+		t.Errorf("Int64s = %v", is)
+	}
+	ns := d.Ints()
+	if len(ns) != 2 || ns[0] != 7 || ns[1] != -7 {
+		t.Errorf("Ints = %v", ns)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	e := NewEnc(32)
+	e.Floats([]float64{1, 2, 3})
+	full := e.Bytes()
+	// Every strict prefix must decode to a sticky error, never panic.
+	for n := 0; n < len(full); n++ {
+		d := NewDec(full[:n])
+		d.Floats()
+		if d.Err() == nil {
+			t.Errorf("prefix len %d: no decode error", n)
+		}
+		if err := d.Finish(); err == nil {
+			t.Errorf("prefix len %d: Finish passed", n)
+		}
+	}
+}
+
+func TestCodecTrailingBytes(t *testing.T) {
+	e := NewEnc(16)
+	e.Uint64(1)
+	e.Uint64(2)
+	d := NewDec(e.Bytes())
+	d.Uint64()
+	if err := d.Finish(); err != ErrTrailing {
+		t.Fatalf("Finish = %v, want ErrTrailing", err)
+	}
+}
+
+func TestCodecHugeLengthPrefix(t *testing.T) {
+	// A corrupt length prefix must not drive a giant allocation.
+	e := NewEnc(8)
+	e.Int(maxSliceLen + 1)
+	d := NewDec(e.Bytes())
+	if got := d.Floats(); got != nil {
+		t.Errorf("Floats = %v, want nil", got)
+	}
+	if d.Err() == nil {
+		t.Error("oversized length prefix accepted")
+	}
+	// Negative length likewise.
+	e2 := NewEnc(8)
+	e2.Int(-1)
+	d2 := NewDec(e2.Bytes())
+	d2.Ints()
+	if d2.Err() == nil {
+		t.Error("negative length prefix accepted")
+	}
+}
+
+func TestCodecStickyError(t *testing.T) {
+	d := NewDec(nil)
+	d.Uint64()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("Err = %v", d.Err())
+	}
+	// Every subsequent read returns zero values without panicking.
+	if d.Int() != 0 || d.Bool() || d.Float64() != 0 || d.String() != "" {
+		t.Error("reads after error returned non-zero values")
+	}
+	if d.Floats() != nil || d.Int64s() != nil || d.Ints() != nil {
+		t.Error("slice reads after error returned non-nil")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/castore"
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/em"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/prof"
 	"repro/internal/session"
+	"repro/internal/uarch"
 )
 
 // Spec declares which per-command flags a command carries on top of the
@@ -55,7 +57,7 @@ var Profiles = map[string]Spec{
 }
 
 // UniversalFlags is the block every command registers.
-var UniversalFlags = []string{"seed", "j", "v", "remote", "backends", "checkpoint", "cpuprofile", "memprofile"}
+var UniversalFlags = []string{"seed", "j", "v", "remote", "backends", "checkpoint", "cache-dir", "cpuprofile", "memprofile"}
 
 // App is one command's parsed flag set plus the construction helpers that
 // turn it into a Backend.
@@ -69,6 +71,7 @@ type App struct {
 	Remote     *string
 	Backends   *string
 	Checkpoint *string
+	CacheDir   *string
 	CPUProfile *string
 	MemProfile *string
 
@@ -83,7 +86,8 @@ type App struct {
 	// calling Backend.
 	BenchSamples int
 
-	fs *flag.FlagSet
+	fs    *flag.FlagSet
+	cache *castore.Store
 }
 
 // New registers the command's flag profile on fs (flag.CommandLine in the
@@ -101,6 +105,8 @@ func New(name string, fs *flag.FlagSet) *App {
 	a.Remote = fs.String("remote", "", "labtarget address for remote measurement (host:port)")
 	a.Backends = fs.String("backends", "", "comma-separated rig fleet: labtarget addresses and/or \"local\" (host1:port,host2:port,local)")
 	a.Checkpoint = fs.String("checkpoint", "", "journal completed fleet shards to this file; a restarted campaign replays them instead of re-measuring")
+	a.CacheDir = fs.String("cache-dir", os.Getenv("REPRO_CACHE_DIR"),
+		"directory of the persistent result cache shared across runs and processes (default $REPRO_CACHE_DIR; empty disables)")
 	a.CPUProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	a.MemProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if spec.Platform {
@@ -159,6 +165,45 @@ func BuildPlatform(name string) (*platform.Platform, error) {
 	return nil, fmt.Errorf("unknown platform %q (want juno, amd, gpu or a .json spec)", name)
 }
 
+// InstallCache opens the persistent result store named by -cache-dir (or
+// $REPRO_CACHE_DIR) and installs it as the disk tier under every
+// evaluation cache — the uarch trace cache, the platform spectra memo and
+// the bench measurement memo — so this process warm-starts from earlier
+// runs and co-located processes share each other's work. A no-op when no
+// directory is configured; idempotent otherwise. Backend calls it, and
+// commands that construct their own benches (repro) call it before
+// building an experiment context.
+func (a *App) InstallCache() (*castore.Store, error) {
+	if a.cache != nil {
+		return a.cache, nil
+	}
+	s, err := InstallCacheDir(*a.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	a.cache = s
+	return s, nil
+}
+
+// InstallCacheDir opens a persistent store at dir and installs it under
+// the process's evaluation caches; an empty dir is a no-op returning nil.
+// Shared by App.InstallCache and commands with their own flag sets
+// (labtarget), so every entry point installs the tier the same way.
+func InstallCacheDir(dir string) (*castore.Store, error) {
+	dir = strings.TrimSpace(dir)
+	if dir == "" {
+		return nil, nil
+	}
+	s, err := castore.Open(dir, castore.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("-cache-dir: %w", err)
+	}
+	uarch.SetPersistentStore(s)
+	platform.SetPersistentStore(s)
+	core.SetPersistentStore(s)
+	return s, nil
+}
+
 // platformSet reports whether -platform was given explicitly.
 func (a *App) platformSet() bool {
 	set := false
@@ -177,6 +222,9 @@ func (a *App) platformSet() bool {
 // pointing a juno campaign at an amd daemon fails up front instead of
 // producing a confusing report.
 func (a *App) Backend() (backend.Backend, error) {
+	if _, err := a.InstallCache(); err != nil {
+		return nil, err
+	}
 	if *a.Backends != "" {
 		if *a.Remote != "" {
 			return nil, fmt.Errorf("-remote and -backends are mutually exclusive; list the daemon in -backends instead")

@@ -61,7 +61,7 @@ func TestFlagInventory(t *testing.T) {
 			// The App handles mirror the registration.
 			if app.Seed == nil || app.Jobs == nil || app.Verbose == nil ||
 				app.Remote == nil || app.Backends == nil || app.Checkpoint == nil ||
-				app.CPUProfile == nil || app.MemProfile == nil {
+				app.CacheDir == nil || app.CPUProfile == nil || app.MemProfile == nil {
 				t.Errorf("%s: universal flag pointer is nil", name)
 			}
 			if (app.Platform != nil) != spec.Platform || (app.Cores != nil) != spec.Cores ||

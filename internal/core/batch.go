@@ -202,6 +202,7 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 	// every generation, clones of already-measured parents — under the same
 	// 64-bit content key the spectra cache already trusts.
 	emID := emIdentity(b.Platform.Antenna, d.Spec.EMPath)
+	disk := newMeasDisk(b, d)
 	firstOf := make(map[uint64]int, len(items))
 	dupOf := make([]int, len(items))
 	keys := make([]batchMemoKey, len(items))
@@ -220,6 +221,15 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 		dupOf[i] = -1
 		if fit, dom, ok := st.memoGet(keys[i]); ok {
 			results[i] = ga.BatchResult{Fitness: fit, DominantHz: dom}
+			memoHits++
+			continue
+		}
+		// The persistent tier holds measurements from earlier processes (or
+		// concurrent ones sharing the cache directory); a hit feeds the
+		// in-memory memo so the rest of the campaign never re-reads disk.
+		if fit, dom, ok := disk.get(keys[i]); ok {
+			results[i] = ga.BatchResult{Fitness: fit, DominantHz: dom}
+			st.memoAdd(keys[i], fit, dom)
 			memoHits++
 			continue
 		}
@@ -267,6 +277,7 @@ func (b *Bench) emMeasureBatch(d *platform.Domain, items []ga.BatchItem, activeC
 		}
 		results[i] = ga.BatchResult{Fitness: meas.PeakDBm, DominantHz: meas.PeakHz}
 		st.memoAdd(keys[i], meas.PeakDBm, meas.PeakHz)
+		disk.put(keys[i], meas.PeakDBm, meas.PeakHz)
 		return nil
 	})
 	var arenaTotal uint64

@@ -1,0 +1,148 @@
+package core
+
+// Disk tier under the batch measurement memo. A memoized batch entry is
+// two floats — a finished EM measurement (peak dBm, dominant Hz) — but a
+// disk hit for one skips the entire pipeline: simulator, PDN, FFT, antenna
+// fold and analyzer sweeps. A repeat campaign from a cold process (the
+// warm-start benchmark) therefore pays hash lookups where the first run
+// paid measurements.
+//
+// The in-memory batchMemoKey is scoped to one bench over one platform; the
+// disk store is shared, so the disk key additionally folds the domain's
+// Spec content hash and the analyzer's content hash (model, span, RBW,
+// noise parameters and the unexported noise seed — measured values embed
+// seeded instrument noise, so two analyzers differing only in seed must
+// never share persisted readings).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/castore"
+	"repro/internal/detrand"
+	"repro/internal/platform"
+)
+
+// measNS is the store namespace for finished EM measurements.
+const measNS = "meas"
+
+// measCodecVersion is bumped whenever the payload layout or any producer
+// of the measured values changes meaning; stale entries read as misses.
+const measCodecVersion = 1
+
+var measPersist atomic.Pointer[castore.Store]
+
+// SetPersistentStore installs (nil removes) the disk-backed tier under the
+// batch measurement memo and returns the previous store.
+func SetPersistentStore(s *castore.Store) (prev *castore.Store) {
+	return measPersist.Swap(s)
+}
+
+// PersistentStore returns the installed disk tier, or nil.
+func PersistentStore() *castore.Store { return measPersist.Load() }
+
+// measDiskKey folds the bench identity (domain spec, analyzer) into the
+// in-memory memo key.
+func measDiskKey(k batchMemoKey, specHash, analyzerHash uint64) uint64 {
+	h := detrand.NewHash()
+	h.Uint64(specHash)
+	h.Uint64(analyzerHash)
+	h.Uint64(k.load)
+	h.Uint64(k.em)
+	h.Int(k.powered)
+	h.Float64(k.clock)
+	h.Float64(k.supply)
+	h.Float64(k.dt)
+	h.Int(k.n)
+	h.Int(k.samples)
+	h.Float64(k.bandLo)
+	h.Float64(k.bandHi)
+	return h.Sum()
+}
+
+// encodeMeas flattens one measurement with its full identity echoed first
+// for verification on decode.
+func encodeMeas(k batchMemoKey, specHash, analyzerHash uint64, fit, dom float64) []byte {
+	enc := castore.NewEnc(14 * 8)
+	enc.Uint64(specHash)
+	enc.Uint64(analyzerHash)
+	enc.Uint64(k.load)
+	enc.Uint64(k.em)
+	enc.Int(k.powered)
+	enc.Float64(k.clock)
+	enc.Float64(k.supply)
+	enc.Float64(k.dt)
+	enc.Int(k.n)
+	enc.Int(k.samples)
+	enc.Float64(k.bandLo)
+	enc.Float64(k.bandHi)
+	enc.Float64(fit)
+	enc.Float64(dom)
+	return enc.Bytes()
+}
+
+// decodeMeas parses a stored measurement, returning ok=false on any
+// truncation or identity mismatch (a cross-bench key collision).
+func decodeMeas(payload []byte, k batchMemoKey, specHash, analyzerHash uint64) (fit, dom float64, ok bool) {
+	dec := castore.NewDec(payload)
+	sh := dec.Uint64()
+	ah := dec.Uint64()
+	load := dec.Uint64()
+	em := dec.Uint64()
+	powered := dec.Int()
+	clock := dec.Float64()
+	supply := dec.Float64()
+	dt := dec.Float64()
+	n := dec.Int()
+	samples := dec.Int()
+	bandLo := dec.Float64()
+	bandHi := dec.Float64()
+	fit = dec.Float64()
+	dom = dec.Float64()
+	if dec.Finish() != nil {
+		return 0, 0, false
+	}
+	if sh != specHash || ah != analyzerHash || load != k.load || em != k.em ||
+		powered != k.powered || clock != k.clock || supply != k.supply ||
+		dt != k.dt || n != k.n || samples != k.samples ||
+		bandLo != k.bandLo || bandHi != k.bandHi {
+		return 0, 0, false
+	}
+	return fit, dom, true
+}
+
+// measDisk wraps the store with the bench identity so emMeasureBatch's hot
+// loop carries one value instead of three.
+type measDisk struct {
+	s        *castore.Store
+	specHash uint64
+	anaHash  uint64
+}
+
+// newMeasDisk returns the disk view for a batch over domain d, or a zero
+// view (get misses, put no-ops) when no store is installed.
+func newMeasDisk(b *Bench, d *platform.Domain) measDisk {
+	s := measPersist.Load()
+	if s == nil {
+		return measDisk{}
+	}
+	return measDisk{s: s, specHash: d.SpecContentHash(), anaHash: b.Analyzer.ContentHash()}
+}
+
+func (md measDisk) get(k batchMemoKey) (fit, dom float64, ok bool) {
+	if md.s == nil {
+		return 0, 0, false
+	}
+	payload, found := md.s.Get(measNS, measCodecVersion, measDiskKey(k, md.specHash, md.anaHash))
+	if !found {
+		return 0, 0, false
+	}
+	return decodeMeas(payload, k, md.specHash, md.anaHash)
+}
+
+func (md measDisk) put(k batchMemoKey, fit, dom float64) {
+	if md.s == nil {
+		return
+	}
+	_ = md.s.Put(measNS, measCodecVersion, measDiskKey(k, md.specHash, md.anaHash),
+		encodeMeas(k, md.specHash, md.anaHash, fit, dom))
+}

@@ -59,6 +59,24 @@ func NewSpectrumAnalyzer(model string, startHz, stopHz, rbwHz float64, seed int6
 	}, nil
 }
 
+// ContentHash identifies the analyzer's complete measurement behaviour:
+// every reading is a deterministic function of (signal, these parameters,
+// seed), so two analyzers with equal hashes produce bit-identical readings
+// and a persisted measurement may be replayed for either. The unexported
+// noise seed is included — two analyzers differing only in seed measure
+// different values.
+func (sa *SpectrumAnalyzer) ContentHash() uint64 {
+	h := detrand.NewHash()
+	h.String(sa.Model)
+	h.Float64(sa.StartHz)
+	h.Float64(sa.StopHz)
+	h.Float64(sa.RBWHz)
+	h.Float64(sa.NoiseFloorDBm)
+	h.Float64(sa.NoiseSigmaDB)
+	h.Uint64(uint64(sa.seed))
+	return h.Sum()
+}
+
 // Sweep is one analyzer trace.
 type Sweep struct {
 	Freqs []float64 // RBW bin centres, Hz

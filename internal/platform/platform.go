@@ -90,6 +90,11 @@ type Domain struct {
 	spectraHits      atomic.Uint64
 	spectraMisses    atomic.Uint64
 	spectraEvictions atomic.Uint64
+
+	// specHashV caches SpecContentHash — the Spec is immutable after
+	// NewDomain, so the JSON canonicalization runs at most once.
+	specHashOnce sync.Once
+	specHashV    uint64
 }
 
 // transferKey omits the supply setting: the network is linear, so its

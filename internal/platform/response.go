@@ -189,33 +189,45 @@ func (d *Domain) spectraAt(l Load, dt float64, n int, clock, supply float64, pow
 	d.spectraMu.Unlock()
 	d.spectraMisses.Add(1)
 
-	var buf []float64
-	if ar != nil {
-		buf = ar.FloatsUninit(n) // fillCurrent overwrites (or clears) all n
+	compute := func() (*spectraEntry, error) {
+		var buf []float64
+		if ar != nil {
+			buf = ar.FloatsUninit(n) // fillCurrent overwrites (or clears) all n
+		}
+		wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin, buf)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := d.transferSetAt(powered, supply, n, dt)
+		if err != nil {
+			return nil, err
+		}
+		var freqs, vAmp, iAmp []float64
+		if ar != nil {
+			half := n/2 + 1
+			vAmp = make([]float64, half)
+			iAmp = make([]float64, half)
+			// RFFTInto writes every element of both rows before any read.
+			freqs, err = ts.SpectraInto(vAmp, iAmp, wave,
+				ar.ComplexesUninit(half), ar.ComplexesUninit(dsp.RFFTScratchLen(n)))
+		} else {
+			freqs, vAmp, iAmp, err = ts.Spectra(wave)
+			power.PutWave(wave)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &spectraEntry{freqs: freqs, vAmp: vAmp, iAmp: iAmp, res: res}, nil
 	}
-	wave, res, err := d.currentAt(l, dt, n, clock, supply, powered, lin, buf)
+	// The disk tier (when installed) serves the miss from a prior process's
+	// work, collapses concurrent misses for this key onto one computation,
+	// and writes fresh results through; the closure's arena belongs to this
+	// worker only (waiters receive the encoded payload, never the closure).
+	ent, err := d.spectraComputeOrDisk(key, compute)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	ts, err := d.transferSetAt(powered, supply, n, dt)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if ar != nil {
-		half := n/2 + 1
-		vAmp = make([]float64, half)
-		iAmp = make([]float64, half)
-		// RFFTInto writes every element of both rows before any read.
-		freqs, err = ts.SpectraInto(vAmp, iAmp, wave,
-			ar.ComplexesUninit(half), ar.ComplexesUninit(dsp.RFFTScratchLen(n)))
-	} else {
-		freqs, vAmp, iAmp, err = ts.Spectra(wave)
-		power.PutWave(wave)
-	}
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	ent := &spectraEntry{freqs: freqs, vAmp: vAmp, iAmp: iAmp, res: res}
+	freqs, vAmp, iAmp, res = ent.freqs, ent.vAmp, ent.iAmp, ent.res
 	d.spectraMu.Lock()
 	if el, ok := d.spectra[key]; ok {
 		// A concurrent miss computed the same pure result; keep the first.

@@ -28,5 +28,8 @@ func (d *Domain) EvalStats() string {
 	fmt.Fprintf(&b, "checkpoints: %d hits / %d misses / %d stored / %d evictions, %d entries (mean resume depth %.1f insts)\n",
 		cs.Hits, cs.Misses, cs.Stored, cs.Evictions, cs.Entries, cs.MeanResumeDepth)
 	fmt.Fprintf(&b, "steady-state extrapolation: %d simulated cycles skipped", uarch.ExtrapolatedCycles())
+	if s := PersistentStore(); s != nil {
+		fmt.Fprintf(&b, "\n%s", s.Stats())
+	}
 	return b.String()
 }

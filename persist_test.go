@@ -1,0 +1,277 @@
+package emnoise
+
+// Whole-campaign property tests for the persistent cache tier (PR 9): a
+// campaign served from a populated disk store in a fresh "process" (empty
+// in-memory caches) must be bit-identical — reflect.DeepEqual on the whole
+// campaign result — to the same campaign with every cache disabled, at any
+// parallelism. Corruption anywhere in the store must degrade to
+// recomputation, never to a changed result; and two bench instances with
+// separate in-memory caches over one store must share each other's work.
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/castore"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/uarch"
+)
+
+// withPersist installs s (which may be nil) as the disk tier under all
+// three evaluation caches — exactly what `-cache-dir` wires up — resets the
+// global in-memory trace cache so the run starts process-cold, and restores
+// everything afterwards.
+func withPersist(t *testing.T, s *castore.Store, fn func()) {
+	t.Helper()
+	prevU := uarch.SetPersistentStore(s)
+	prevP := platform.SetPersistentStore(s)
+	prevC := core.SetPersistentStore(s)
+	uarch.ResetTraceCache()
+	defer func() {
+		uarch.SetPersistentStore(prevU)
+		platform.SetPersistentStore(prevP)
+		core.SetPersistentStore(prevC)
+		uarch.ResetTraceCache()
+	}()
+	fn()
+}
+
+func openCampaignStore(t *testing.T) *castore.Store {
+	t.Helper()
+	s, err := castore.Open(t.TempDir(), castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPersistentCacheBitIdenticalCampaigns is the PR's acceptance
+// property: for each campaign shape (resonance sweep, GA hunt, V_MIN
+// shmoo) and each parallelism, three runs must agree bit-for-bit —
+// cache-off (trace cache disabled, no store), cold (caches on, no store),
+// and disk-warm (fresh in-memory caches over a store populated by a prior
+// run). The disk-warm run must actually hit the store.
+func TestPersistentCacheBitIdenticalCampaigns(t *testing.T) {
+	sweep := func(jobs int) any {
+		plat, err := JunoR2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench, err := NewBench(plat, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench.Samples = 3
+		bench.Parallelism = jobs
+		d, err := plat.Domain(DomainA72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bench.FastResonanceSweep(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gah := func(jobs int) any {
+		return gaRun(t, JunoR2, DomainA72, 2, jobs)
+	}
+	vminShmoo := func(jobs int) any {
+		plat, err := JunoR2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := plat.Domain(DomainA72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := WorkloadByName("probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := w.Build(d.Spec.Pool())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tester := NewVminTester(d, 13)
+		tester.Parallelism = jobs
+		steps := d.ClockSteps()
+		clocks := []float64{steps[len(steps)-1], steps[len(steps)/2], steps[len(steps)/4]}
+		points, err := tester.Shmoo(Load{Seq: seq, ActiveCores: 2}, clocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+
+	campaigns := []struct {
+		name string
+		run  func(jobs int) any
+	}{
+		{"sweep", sweep},
+		{"ga", gah},
+		{"vmin-shmoo", vminShmoo},
+	}
+	for _, jobs := range []int{1, 8} {
+		for _, c := range campaigns {
+			t.Run(fmt.Sprintf("%s-j%d", c.name, jobs), func(t *testing.T) {
+				var off, cold, warm any
+				withTraceCache(t, false, func() { off = c.run(jobs) })
+				withTraceCache(t, true, func() { cold = c.run(jobs) })
+
+				s := openCampaignStore(t)
+				withPersist(t, s, func() { c.run(jobs) }) // populate
+				if s.Stats().Puts == 0 {
+					t.Fatal("populating run wrote nothing through to the store")
+				}
+				hitsBefore := s.Stats().Hits
+				withPersist(t, s, func() { warm = c.run(jobs) })
+				if s.Stats().Hits == hitsBefore {
+					t.Error("disk-warm run never hit the store")
+				}
+
+				if !reflect.DeepEqual(cold, off) {
+					t.Errorf("cold differs from cache-off:\ncold %+v\noff  %+v", cold, off)
+				}
+				if !reflect.DeepEqual(warm, off) {
+					t.Errorf("disk-warm differs from cache-off:\nwarm %+v\noff  %+v", warm, off)
+				}
+			})
+		}
+	}
+}
+
+// TestPersistentCacheCorruptionRecomputes: garbling every published entry
+// in a populated store must turn the warm run back into a (correct) cold
+// run — entries quarantined, results unchanged.
+func TestPersistentCacheCorruptionRecomputes(t *testing.T) {
+	run := func() *SweepResult {
+		plat, err := JunoR2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench, err := NewBench(plat, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench.Samples = 3
+		bench.Parallelism = 4
+		d, err := plat.Domain(DomainA72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bench.FastResonanceSweep(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var want *SweepResult
+	withTraceCache(t, true, func() { want = run() })
+
+	s := openCampaignStore(t)
+	withPersist(t, s, func() { run() })
+
+	// Garble every entry: flip one byte in the middle and truncate the odd
+	// ones, covering both corruption shapes at campaign scale.
+	var garbled int
+	err := filepath.WalkDir(s.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".e") {
+			return err
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if garbled%2 == 0 {
+			buf[len(buf)/2] ^= 0x5a
+		} else {
+			buf = buf[:len(buf)/2]
+		}
+		garbled++
+		return os.WriteFile(path, buf, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if garbled == 0 {
+		t.Fatal("populated store holds no entries")
+	}
+
+	var got *SweepResult
+	withPersist(t, s, func() { got = run() })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep over a corrupted store differs from the clean result")
+	}
+	st := s.Stats()
+	if st.Corrupt == 0 {
+		t.Errorf("no corruption detected across %d garbled entries: %+v", garbled, st)
+	}
+	if ents, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine")); err != nil || len(ents) == 0 {
+		t.Errorf("no quarantined entries (err %v)", err)
+	}
+}
+
+// TestPersistentStoreSharedAcrossBenches: two bench instances with
+// separate in-memory caches (fresh platform, fresh bench, reset trace
+// cache) over one store — the second must see the first's measurements and
+// reproduce the campaign bit-identically without measuring anything.
+func TestPersistentStoreSharedAcrossBenches(t *testing.T) {
+	runGA := func() (*GAResult, *core.Bench) {
+		plat, err := JunoR2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench, err := NewBench(plat, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bench.Samples = 3
+		d, err := plat.Domain(DomainA72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultGAConfig(d.Spec.Pool())
+		cfg.PopulationSize = 12
+		cfg.Generations = 6
+		cfg.Seed = 21
+		cfg.Parallelism = 4
+		res, err := RunGA(cfg, bench.EMMeasurer(d, 2), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, bench
+	}
+
+	s := openCampaignStore(t)
+	var first, second *GAResult
+	var secondStats core.BatchStats
+	withPersist(t, s, func() { first, _ = runGA() })
+	withPersist(t, s, func() {
+		var b *core.Bench
+		second, b = runGA()
+		secondStats = b.BatchStats()
+	})
+
+	if !reflect.DeepEqual(first.Best, second.Best) ||
+		!reflect.DeepEqual(first.History, second.History) ||
+		!reflect.DeepEqual(first.FinalPopulation, second.FinalPopulation) {
+		t.Error("second bench's campaign differs from the first's")
+	}
+	if secondStats.Measured != 0 {
+		t.Errorf("second bench re-measured %d items despite a fully populated store (%+v)",
+			secondStats.Measured, secondStats)
+	}
+	if secondStats.MemoHits == 0 {
+		t.Errorf("second bench reported no memo traffic: %+v", secondStats)
+	}
+	if s.Stats().Hits == 0 {
+		t.Error("store reports no hits across the second campaign")
+	}
+}
