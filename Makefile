@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr9.json
 
-.PHONY: all build test tier1 tier1-remote tier1-fleet race vet bench bench-all bench-compare perf-gate chaos fmt cache-stress
+.PHONY: all build test tier1 tier1-remote tier1-fleet specs-verify race vet bench bench-all bench-compare perf-gate chaos fmt cache-stress
 
 all: build test
 
@@ -16,9 +16,17 @@ test: build
 # results), so a flaky or order-dependent test cannot hide behind the
 # build cache. The persistent store is cross-process shared mutable state,
 # so its whole suite runs under the race detector here.
-tier1: build fmt vet tier1-remote tier1-fleet
+tier1: build fmt vet specs-verify tier1-remote tier1-fleet
 	GOFLAGS=-count=1 $(GO) test -race ./internal/castore
 	GOFLAGS=-count=1 $(GO) test ./...
+
+# Spec hygiene: every embedded platform spec must strict-parse, build,
+# survive a save/load round trip and keep its persistent-cache identity
+# stable across it (specgen -check-builtin), and the byte-identity pins
+# against the pre-registry constructors must hold.
+specs-verify:
+	$(GO) run ./cmd/specgen -check-builtin
+	GOFLAGS=-count=1 $(GO) test -run 'Registry|Spec|Arch|DefineArch' ./internal/platform ./internal/isa
 
 # Local/remote backend equivalence: the lab protocol v2 suite and the
 # Backend interface tests, which drive every command's measurement path

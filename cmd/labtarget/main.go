@@ -32,7 +32,7 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9740", "address to listen on")
-		plat     = flag.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
+		plat     = flag.String("platform", "juno", "platform: a spec-registry name (see specgen -list) or a .json platform spec")
 		seed     = flag.Int64("seed", 1, "random seed for the bench instruments")
 		jobs     = flag.Int("j", runtime.NumCPU(), "bench parallelism for server-side sweeps and V_MIN campaigns")
 		cacheDir = flag.String("cache-dir", os.Getenv("REPRO_CACHE_DIR"),

@@ -26,6 +26,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/isa"
 )
 
 func main() {
@@ -61,6 +62,20 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *app.Seed, Parallelism: *app.Jobs}
+	if *app.Platform != "" {
+		// Substitute the platform for the experiment slot its ISA
+		// matches: an x86 first domain replaces the AMD desktop, anything
+		// else replaces the Juno board.
+		p, err := cli.BuildPlatform(*app.Platform)
+		if err != nil {
+			fatal(err)
+		}
+		if p.Domains()[0].Spec.ISA == isa.X86 {
+			opts.AMDPlatform = *app.Platform
+		} else {
+			opts.JunoPlatform = *app.Platform
+		}
+	}
 	if *app.Remote != "" {
 		backends, closeAll, err := cli.RemoteBackends(*app.Remote, *app.Jobs)
 		if err != nil {

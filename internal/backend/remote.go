@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -118,18 +119,10 @@ func (r *Remote) Domains() []string {
 // field serves one of the built-in boards, so the catalogue is
 // authoritative for them; custom-spec daemons need protocol v2.
 func builtinCaps(platformName, domain string) (Caps, error) {
-	var p *platform.Platform
-	var err error
-	switch platformName {
-	case "juno-r2":
-		p, err = platform.JunoR2()
-	case "amd-desktop":
-		p, err = platform.AMDDesktop()
-	case "gpu-card":
-		p, err = platform.GPUCard()
-	default:
+	if !platform.Builtin().Has(platformName) {
 		return Caps{}, fmt.Errorf("backend: v1 daemon serves unknown platform %q; CAPS needs protocol v2", platformName)
 	}
+	p, err := platform.Build(platformName)
 	if err != nil {
 		return Caps{}, err
 	}
@@ -148,6 +141,32 @@ func builtinCaps(platformName, domain string) (Caps, error) {
 		DSOKind:           dsoKindFor(spec.VoltageVisibility),
 		Lineage:           false,
 	}, nil
+}
+
+// NoPoolError reports that a rig's architecture was only interned from
+// the wire (a data-defined ISA whose spec this process never loaded), so
+// loads cannot be assembled for it. It is deterministic — retrying or
+// failing over cannot help; the fix is to load the rig's spec locally.
+type NoPoolError struct {
+	Arch isa.Arch
+}
+
+func (e *NoPoolError) Error() string {
+	return fmt.Sprintf("backend: no instruction pool for architecture %s is loaded in this process; pass -platform with the rig's spec file so loads can be assembled", e.Arch)
+}
+
+// IsNoPoolError reports whether err is a NoPoolError.
+func IsNoPoolError(err error) bool {
+	var npe *NoPoolError
+	return errors.As(err, &npe)
+}
+
+// capsPool resolves the instruction pool for a capability record.
+func capsPool(caps Caps) (*isa.Pool, error) {
+	if p := caps.Pool(); p != nil {
+		return p, nil
+	}
+	return nil, &NoPoolError{Arch: caps.Arch}
 }
 
 // Caps returns a domain's capability record (cached after the first
@@ -255,9 +274,13 @@ func (r *Remote) EMMeasureN(domain string, load platform.Load, samples int) (*in
 	if err != nil {
 		return nil, err
 	}
+	ipool, err := capsPool(caps)
+	if err != nil {
+		return nil, err
+	}
 	var m *instrument.Measurement
 	err = r.pool.Do(func(c *lab.Client) error {
-		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+		if err := c.Load(domain, load.ActiveCores, ipool, load.Seq); err != nil {
 			return err
 		}
 		if err := c.Run(); err != nil {
@@ -310,7 +333,10 @@ func (r *Remote) Measurer(spec MeasurerSpec) (ga.Measurer, error) {
 	default:
 		return nil, fmt.Errorf("backend: unknown metric %q", spec.Metric)
 	}
-	ipool := caps.Pool()
+	ipool, err := capsPool(caps)
+	if err != nil {
+		return nil, err
+	}
 	return ga.MeasurerFunc(func(seq []isa.Inst) (float64, float64, error) {
 		var fitness, domHz float64
 		err := r.pool.Do(func(c *lab.Client) error {
@@ -412,11 +438,15 @@ func (r *Remote) MonitorAll(loads map[string]platform.Load) (*instrument.Sweep, 
 		if err != nil {
 			return nil, err
 		}
+		ipool, err := capsPool(caps)
+		if err != nil {
+			return nil, err
+		}
 		l := loads[name]
 		parts = append(parts, lab.MonitorPart{
 			Domain: name,
 			Cores:  l.ActiveCores,
-			Pool:   caps.Pool(),
+			Pool:   ipool,
 			Seq:    l.Seq,
 			Phases: l.PhaseCycles,
 		})
@@ -447,10 +477,14 @@ func (r *Remote) Vmin(domain string, load platform.Load, seed int64, repeats int
 	if err != nil {
 		return nil, nil, err
 	}
+	ipool, err := capsPool(caps)
+	if err != nil {
+		return nil, nil, err
+	}
 	var res *vmin.Result
 	var runs []float64
 	err = r.pool.Do(func(c *lab.Client) error {
-		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+		if err := c.Load(domain, load.ActiveCores, ipool, load.Seq); err != nil {
 			return err
 		}
 		full, err := c.VminFull(seed, repeats)
@@ -484,9 +518,13 @@ func (r *Remote) VminShmoo(domain string, load platform.Load, seed int64, clocks
 	if err != nil {
 		return nil, err
 	}
+	ipool, err := capsPool(caps)
+	if err != nil {
+		return nil, err
+	}
 	var points []vmin.ShmooPoint
 	err = r.pool.Do(func(c *lab.Client) error {
-		if err := c.Load(domain, load.ActiveCores, caps.Pool(), load.Seq); err != nil {
+		if err := c.Load(domain, load.ActiveCores, ipool, load.Seq); err != nil {
 			return err
 		}
 		var err error

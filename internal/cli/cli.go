@@ -19,7 +19,6 @@ import (
 	"repro/internal/castore"
 	"repro/internal/core"
 	"repro/internal/detrand"
-	"repro/internal/em"
 	"repro/internal/fleet"
 	"repro/internal/lab"
 	"repro/internal/platform"
@@ -32,8 +31,9 @@ import (
 // universal block.
 type Spec struct {
 	// Platform/domain selection (-platform, -domain).
-	Platform      bool
-	DomainDefault string // default for -domain; "" = platform's first
+	Platform        bool
+	PlatformDefault string // default for -platform; "" = no default (repro's slot-override semantics)
+	DomainDefault   string // default for -domain; "" = platform's first
 	// Cores adds -cores (active cores; 0 = all powered unless CoresDefault).
 	Cores        bool
 	CoresDefault int
@@ -49,11 +49,11 @@ type Spec struct {
 // flag-parity test in this package walks it, so adding a command here is
 // what keeps the inventory honest.
 var Profiles = map[string]Spec{
-	"sweep":        {Platform: true, Samples: true, Session: true, SeedDefault: 1},
-	"vmin":         {Platform: true, Cores: true, Session: true, SeedDefault: 1},
-	"characterize": {Platform: true, Cores: true, SeedDefault: 1},
-	"gahunt":       {Platform: true, DomainDefault: platform.DomainA72, Cores: true, CoresDefault: 2, Samples: true, Session: true, SeedDefault: 1},
-	"repro":        {SeedDefault: 7},
+	"sweep":        {Platform: true, PlatformDefault: "juno", Samples: true, Session: true, SeedDefault: 1},
+	"vmin":         {Platform: true, PlatformDefault: "juno", Cores: true, Session: true, SeedDefault: 1},
+	"characterize": {Platform: true, PlatformDefault: "juno", Cores: true, SeedDefault: 1},
+	"gahunt":       {Platform: true, PlatformDefault: "juno", DomainDefault: platform.DomainA72, Cores: true, CoresDefault: 2, Samples: true, Session: true, SeedDefault: 1},
+	"repro":        {Platform: true, SeedDefault: 7},
 }
 
 // UniversalFlags is the block every command registers.
@@ -110,7 +110,11 @@ func New(name string, fs *flag.FlagSet) *App {
 	a.CPUProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	a.MemProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if spec.Platform {
-		a.Platform = fs.String("platform", "juno", "platform: juno, amd, gpu, or a .json domain spec")
+		platformHelp := "platform: " + strings.Join(platform.BuiltinNames(), ", ") + ", or a .json platform spec"
+		if spec.PlatformDefault == "" {
+			platformHelp = "substitute this platform (registry name or .json spec) for the experiment slot its ISA matches"
+		}
+		a.Platform = fs.String("platform", spec.PlatformDefault, platformHelp)
 		domainHelp := "voltage domain (defaults to the platform's first)"
 		if spec.DomainDefault != "" {
 			domainHelp = "voltage domain"
@@ -139,30 +143,11 @@ func (a *App) StartProfiling() (func(), error) {
 	return prof.Start(*a.CPUProfile, *a.MemProfile)
 }
 
-// BuildPlatform constructs a platform from its CLI name: a built-in board
-// key or a .json domain-spec file.
+// BuildPlatform constructs a platform from its CLI name: a spec-registry
+// entry (or one of the historical aliases juno/amd/gpu), or a .json
+// platform-spec file of any supported schema version.
 func BuildPlatform(name string) (*platform.Platform, error) {
-	switch name {
-	case "juno":
-		return platform.JunoR2()
-	case "amd":
-		return platform.AMDDesktop()
-	case "gpu":
-		return platform.GPUCard()
-	}
-	if strings.HasSuffix(name, ".json") {
-		f, err := os.Open(name)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		spec, err := platform.LoadSpecJSON(f)
-		if err != nil {
-			return nil, err
-		}
-		return platform.NewPlatform(spec.Name, em.DefaultLoopAntenna(), spec)
-	}
-	return nil, fmt.Errorf("unknown platform %q (want juno, amd, gpu or a .json spec)", name)
+	return platform.Resolve(name)
 }
 
 // InstallCache opens the persistent result store named by -cache-dir (or
@@ -257,7 +242,7 @@ func (a *App) Backend() (backend.Backend, error) {
 		return be, nil
 	}
 	platName := "juno"
-	if a.Platform != nil {
+	if a.Platform != nil && *a.Platform != "" {
 		platName = *a.Platform
 	}
 	p, err := BuildPlatform(platName)
@@ -288,7 +273,7 @@ func (a *App) fleetBackend() (backend.Backend, error) {
 		}
 	}
 	platName := "juno"
-	if a.Platform != nil {
+	if a.Platform != nil && *a.Platform != "" {
 		platName = *a.Platform
 	}
 	for _, entry := range strings.Split(*a.Backends, ",") {

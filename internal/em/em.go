@@ -21,10 +21,10 @@ import (
 // response across the 50-200 MHz band of interest with a self-resonance
 // near 2.95 GHz.
 type Antenna struct {
-	SelfResonanceHz float64 // self-resonance frequency (2.95 GHz in Fig. 6)
-	Q               float64 // resonance quality factor
-	FeedOhms        float64 // feed-point resistance at resonance
-	SystemOhms      float64 // reference impedance of the analyzer (50 ohm)
+	SelfResonanceHz float64 `json:"self_resonance_hz"` // self-resonance frequency (2.95 GHz in Fig. 6)
+	Q               float64 `json:"q"`                 // resonance quality factor
+	FeedOhms        float64 `json:"feed_ohms"`         // feed-point resistance at resonance
+	SystemOhms      float64 `json:"system_ohms"`       // reference impedance of the analyzer (50 ohm)
 }
 
 // DefaultLoopAntenna returns the 3 cm square-loop antenna of the paper.

@@ -37,6 +37,13 @@ type Options struct {
 	// bench is seeded Seed+1 (juno) / Seed+2 (amd) reproduces the local
 	// results bit for bit.
 	Backends map[string]backend.Backend
+	// JunoPlatform / AMDPlatform substitute another platform (a registry
+	// name or a .json spec path, resolved through platform.Resolve) for
+	// the corresponding experiment slot. Best effort: experiments that
+	// address the built-in domains by name fail with a clear "no domain"
+	// error when the substitute lacks them.
+	JunoPlatform string
+	AMDPlatform  string
 }
 
 // Result is a completed experiment.
@@ -80,11 +87,11 @@ type Context struct {
 
 // NewContext builds the two platforms and their benches.
 func NewContext(opts Options) (*Context, error) {
-	juno, err := platform.JunoR2()
+	juno, err := resolveSlot(opts.JunoPlatform, "juno-r2")
 	if err != nil {
 		return nil, err
 	}
-	amd, err := platform.AMDDesktop()
+	amd, err := resolveSlot(opts.AMDPlatform, "amd-desktop")
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +127,15 @@ func NewContext(opts Options) (*Context, error) {
 		AMDBE:     abe,
 		viruses:   make(map[string]*ga.Result),
 	}, nil
+}
+
+// resolveSlot builds the platform for an experiment slot: the registry
+// default, or the Options override (registry name or spec file).
+func resolveSlot(override, def string) (*platform.Platform, error) {
+	if override == "" {
+		return platform.Build(def)
+	}
+	return platform.Resolve(override)
 }
 
 // backendFor picks the substitute backend for a platform, or wraps the

@@ -374,7 +374,7 @@ func (f *Fleet) Close() error {
 // request rather than of the rig that served it — every rig would return
 // it, so failover is pointless and misleading.
 func isDeterministicError(err error) bool {
-	return backend.IsCapabilityError(err) || lab.IsTargetError(err)
+	return backend.IsCapabilityError(err) || backend.IsNoPoolError(err) || lab.IsTargetError(err)
 }
 
 // sweepPointCapable reports whether a backend can serve SweepPoint:

@@ -21,37 +21,39 @@ import (
 	"math/rand"
 )
 
-// Arch identifies an instruction-set architecture.
+// Arch identifies an instruction-set architecture. Beyond the two legacy
+// built-ins, values are registry entries created by DefineArch (see
+// registry.go); the numeric value of a registered arch is a stable hash of
+// its name, so spec-loaded architectures keep the same identity (and the
+// same persistent cache keys) in every process.
 type Arch int
 
-// Supported architectures.
+// The built-in architectures, pre-registered with their legacy ids.
 const (
 	ARM64 Arch = iota
 	X86
 )
 
-// String returns the conventional name of the architecture.
+// String returns the registered name of the architecture.
 func (a Arch) String() string {
-	switch a {
-	case ARM64:
-		return "arm64"
-	case X86:
-		return "x86-64"
-	default:
-		return fmt.Sprintf("arch(%d)", int(a))
+	if name := archName(a); name != "" {
+		return name
 	}
+	return fmt.Sprintf("arch(%d)", int(a))
 }
 
-// ParseArch converts a name produced by Arch.String back to an Arch.
+// ParseArch converts a name produced by Arch.String back to an Arch. Any
+// architecture registered with DefineArch (or interned from a capability
+// record) resolves; legacy aliases of the x86 built-in are accepted.
 func ParseArch(s string) (Arch, error) {
 	switch s {
-	case "arm64":
-		return ARM64, nil
-	case "x86-64", "x86", "amd64":
+	case "x86", "amd64":
 		return X86, nil
-	default:
-		return 0, fmt.Errorf("isa: unknown architecture %q", s)
 	}
+	if id, ok := lookupArch(s); ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("isa: unknown architecture %q", s)
 }
 
 // Class is the paper's instruction taxonomy (Table 2): branches, short- and

@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON instruction-pool format is the spec-registry counterpart of the
+// XML input format (xml.go): a v2 platform spec file embeds one of these
+// objects per data-defined architecture, so adding an ISA is a table in
+// the spec file rather than a Go change.
+//
+//	{
+//	  "int_regs": 16, "vec_regs": 16, "mem_slots": 8,
+//	  "instructions": [
+//	    {"mnemonic": "add", "class": "int-short", "unit": "alu",
+//	     "latency": 1, "charge": 1.2e-10, "regfile": "int", "nsrc": 2}
+//	  ]
+//	}
+//
+// Decoding is strict: unknown fields, unknown class/unit/regfile/mem
+// names and definitions that fail Def.Validate are errors naming the
+// offending instruction.
+
+type poolJSON struct {
+	IntRegs      int        `json:"int_regs"`
+	VecRegs      int        `json:"vec_regs"`
+	MemSlots     int        `json:"mem_slots"`
+	Instructions []instJSON `json:"instructions"`
+}
+
+type instJSON struct {
+	Mnemonic  string  `json:"mnemonic"`
+	Class     string  `json:"class"`
+	Unit      string  `json:"unit"`
+	Latency   int     `json:"latency"`
+	Block     int     `json:"block,omitempty"` // 0 = fully pipelined (1)
+	Charge    float64 `json:"charge"`
+	RegFile   string  `json:"regfile,omitempty"` // "int" (default) or "vec"
+	NSrc      int     `json:"nsrc,omitempty"`
+	DestIsSrc bool    `json:"dest_is_src,omitempty"`
+	Mem       string  `json:"mem,omitempty"` // "", "load", "store", "read-operand"
+	NoDest    bool    `json:"no_dest,omitempty"`
+}
+
+// parsePoolJSON decodes a strict pool description into definitions plus
+// resource counts (without building or registering a pool).
+func parsePoolJSON(data []byte) ([]Def, int, int, int, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var pj poolJSON
+	if err := dec.Decode(&pj); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("isa: decoding pool: %w", err)
+	}
+	defs := make([]Def, 0, len(pj.Instructions))
+	for i, ij := range pj.Instructions {
+		where := ij.Mnemonic
+		if where == "" {
+			where = fmt.Sprintf("#%d", i)
+		}
+		class, err := ParseClass(ij.Class)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("isa: instruction %s: %w", where, err)
+		}
+		unit, err := ParseUnit(ij.Unit)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("isa: instruction %s: %w", where, err)
+		}
+		mem, err := parseMemMode(ij.Mem)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("isa: instruction %s: %w", where, err)
+		}
+		var rf RegFile
+		switch ij.RegFile {
+		case "int", "":
+			rf = RegInt
+		case "vec":
+			rf = RegVec
+		default:
+			return nil, 0, 0, 0, fmt.Errorf("isa: instruction %s: unknown register file %q", where, ij.RegFile)
+		}
+		block := ij.Block
+		if block == 0 {
+			block = 1
+		}
+		defs = append(defs, Def{
+			Mnemonic: ij.Mnemonic, Class: class, Unit: unit,
+			Latency: ij.Latency, Block: block, Charge: ij.Charge,
+			RegFile: rf, NSrc: ij.NSrc, DestIsSrc: ij.DestIsSrc,
+			Mem: mem, NoDest: ij.NoDest,
+		})
+	}
+	return defs, pj.IntRegs, pj.VecRegs, pj.MemSlots, nil
+}
+
+// DefineArchJSON registers a named architecture from its JSON pool
+// description, with DefineArch's idempotency rules.
+func DefineArchJSON(name string, data []byte) (Arch, error) {
+	defs, intRegs, vecRegs, memSlots, err := parsePoolJSON(data)
+	if err != nil {
+		return 0, fmt.Errorf("isa: architecture %q: %w", name, err)
+	}
+	return DefineArch(name, defs, intRegs, vecRegs, memSlots)
+}
+
+// MarshalPoolJSON serializes a pool in the format DefineArchJSON reads.
+func MarshalPoolJSON(p *Pool) ([]byte, error) {
+	pj := poolJSON{
+		IntRegs:  p.IntRegs,
+		VecRegs:  p.VecRegs,
+		MemSlots: p.MemSlots,
+	}
+	for i := range p.Defs {
+		d := &p.Defs[i]
+		rf := ""
+		if d.RegFile == RegVec {
+			rf = "vec"
+		}
+		mem := ""
+		if d.Mem != MemNone {
+			mem = memModeNames[d.Mem]
+		}
+		pj.Instructions = append(pj.Instructions, instJSON{
+			Mnemonic: d.Mnemonic, Class: d.Class.String(), Unit: d.Unit.String(),
+			Latency: d.Latency, Block: d.Block, Charge: d.Charge,
+			RegFile: rf, NSrc: d.NSrc, DestIsSrc: d.DestIsSrc,
+			Mem: mem, NoDest: d.NoDest,
+		})
+	}
+	return json.Marshal(pj)
+}

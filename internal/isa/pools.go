@@ -83,12 +83,11 @@ func X86Pool() *Pool {
 	return p
 }
 
-// PoolFor returns the built-in pool for an architecture.
+// PoolFor returns the registered pool for an architecture: the process-
+// shared built-in pools for the two legacy arches, the pool supplied to
+// DefineArch for spec-registered ones, nil for an architecture that is
+// unknown or only interned from a wire capability record (callers that
+// need to assemble instructions must load the defining spec first).
 func PoolFor(arch Arch) *Pool {
-	switch arch {
-	case X86:
-		return X86Pool()
-	default:
-		return ARM64Pool()
-	}
+	return archPool(arch)
 }

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// toyDefs is a minimal valid instruction set for registry tests. Each call
+// returns fresh defs so mutation by one test cannot leak into another.
+func toyDefs() []Def {
+	return []Def{
+		{Mnemonic: "add", Class: IntShort, Unit: UnitALU, Latency: 1, Block: 1, Charge: 0.1e-9, RegFile: RegInt, NSrc: 2},
+		{Mnemonic: "ld", Class: Mem, Unit: UnitLS, Latency: 3, Block: 1, Charge: 0.3e-9, RegFile: RegInt, Mem: MemLoad},
+		{Mnemonic: "j", Class: Branch, Unit: UnitBranch, Latency: 1, Block: 1, Charge: 0.05e-9, RegFile: RegInt, NoDest: true},
+	}
+}
+
+func TestDefineArchIdempotent(t *testing.T) {
+	id1, err := DefineArch("reg-test-idem", toyDefs(), 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := DefineArch("reg-test-idem", toyDefs(), 8, 8, 4)
+	if err != nil {
+		t.Fatalf("identical re-registration rejected: %v", err)
+	}
+	if id1 != id2 {
+		t.Fatalf("ids differ across registrations: %d vs %d", id1, id2)
+	}
+}
+
+func TestDefineArchConflict(t *testing.T) {
+	if _, err := DefineArch("reg-test-conflict", toyDefs(), 8, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	defs := toyDefs()
+	defs[0].Charge *= 2
+	_, err := DefineArch("reg-test-conflict", defs, 8, 8, 4)
+	if err == nil {
+		t.Fatal("conflicting pool accepted")
+	}
+	if !strings.Contains(err.Error(), "different instruction pool") {
+		t.Errorf("error %q does not describe the conflict", err)
+	}
+}
+
+// TestArchIDStable pins the derived ids: they are pure functions of the
+// name (FNV-1a, 62-bit), so two processes loading the same spec file agree
+// on every downstream cache key without coordinating. A change here
+// orphans persistent cache entries — it must be deliberate.
+func TestArchIDStable(t *testing.T) {
+	id, err := DefineArch("riscv64", toyDefs(), 8, 8, 4)
+	if err != nil && !strings.Contains(err.Error(), "different instruction pool") {
+		t.Fatal(err)
+	}
+	if err != nil {
+		// Another test (or an embedded spec) already registered riscv64
+		// with its real pool; the id is still the name hash.
+		id, err = ParseArch("riscv64")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := Arch(1081435589864979470); id != want {
+		t.Fatalf("riscv64 id = %d, want %d", id, want)
+	}
+	if ARM64 != 0 || X86 != 1 {
+		t.Fatalf("legacy enum ids moved: arm64=%d x86=%d", ARM64, X86)
+	}
+}
+
+func TestInternArchUpgrade(t *testing.T) {
+	id, err := InternArch("reg-test-intern")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := id.String(); got != "reg-test-intern" {
+		t.Fatalf("interned arch String() = %q", got)
+	}
+	if p := PoolFor(id); p != nil {
+		t.Fatal("interned arch has a pool before DefineArch")
+	}
+	id2, err := DefineArch("reg-test-intern", toyDefs(), 8, 8, 4)
+	if err != nil {
+		t.Fatalf("upgrading interned binding: %v", err)
+	}
+	if id2 != id {
+		t.Fatalf("upgrade changed id: %d vs %d", id2, id)
+	}
+	p := PoolFor(id)
+	if p == nil {
+		t.Fatal("no pool after upgrade")
+	}
+	if _, ok := p.DefByMnemonic("add"); !ok {
+		t.Fatal("upgraded pool lacks its definitions")
+	}
+}
+
+func TestValidateArchName(t *testing.T) {
+	for _, ok := range []string{"arm64", "riscv64", "my-dsp.v2", "a_b"} {
+		if err := ValidateArchName(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "Has Space", "UPPER", "naïve", "semi;colon"} {
+		if err := ValidateArchName(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseArchRoundTrip(t *testing.T) {
+	id, err := DefineArch("reg-test-roundtrip", toyDefs(), 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseArch("reg-test-roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id || got.String() != "reg-test-roundtrip" {
+		t.Fatalf("round trip: %d %q, want %d", got, got.String(), id)
+	}
+	// Legacy aliases still resolve to the x86 builtin.
+	for _, alias := range []string{"x86", "amd64", "x86-64"} {
+		if a, err := ParseArch(alias); err != nil || a != X86 {
+			t.Errorf("ParseArch(%q) = %v, %v", alias, a, err)
+		}
+	}
+	if _, err := ParseArch("vax"); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}

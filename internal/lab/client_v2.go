@@ -73,7 +73,13 @@ func (c *Client) Caps(domain string) (*RemoteCaps, error) {
 				return fmt.Errorf("malformed CAPS reply %q", payload)
 			}
 			if caps.Arch, err = isa.ParseArch(fields[1]); err != nil {
-				return err
+				// A daemon can serve an architecture this process has
+				// not loaded a spec for; intern the name so capability
+				// queries and placement still work (assembling loads
+				// for it fails later with a pointed error).
+				if caps.Arch, err = isa.InternArch(fields[1]); err != nil {
+					return err
+				}
 			}
 			if caps.MaxClockHz, err = floatField(fields, 2, "max clock"); err != nil {
 				return err

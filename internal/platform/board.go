@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/em"
+)
+
+// Platform is a board with one or more CPU voltage domains and one receiver
+// antenna position (the paper places the loop antenna under the PCB where
+// it picks up every domain simultaneously).
+type Platform struct {
+	Name    string
+	Antenna em.Antenna
+
+	domains map[string]*Domain
+	order   []string
+}
+
+// NewPlatform assembles a platform from domain specs.
+func NewPlatform(name string, antenna em.Antenna, specs ...Spec) (*Platform, error) {
+	if err := antenna.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("platform: %s has no domains", name)
+	}
+	p := &Platform{Name: name, Antenna: antenna, domains: make(map[string]*Domain)}
+	for _, spec := range specs {
+		if _, dup := p.domains[spec.Name]; dup {
+			return nil, fmt.Errorf("platform: duplicate domain %q", spec.Name)
+		}
+		d, err := NewDomain(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.domains[spec.Name] = d
+		p.order = append(p.order, spec.Name)
+	}
+	return p, nil
+}
+
+// Domain returns the named voltage domain.
+func (p *Platform) Domain(name string) (*Domain, error) {
+	d, ok := p.domains[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: %s has no domain %q", p.Name, name)
+	}
+	return d, nil
+}
+
+// Domains returns all domains in declaration order.
+func (p *Platform) Domains() []*Domain {
+	out := make([]*Domain, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, p.domains[name])
+	}
+	return out
+}

@@ -1,9 +1,7 @@
 package platform
 
 import (
-	"repro/internal/em"
 	"repro/internal/isa"
-	"repro/internal/pdn"
 	"repro/internal/uarch"
 )
 
@@ -13,6 +11,10 @@ import (
 // larger version of the same problem: many identical streaming
 // multiprocessors (SMs) under one rail, lots of die capacitance, and
 // lockstep SIMD execution that produces brutal current steps.
+//
+// The board itself (PDN, EM path, clocking) lives in the embedded spec
+// file specs/gpu-card.json; only the SM core model remains in Go because
+// it is exported API (emnoise.GPUSMCore).
 
 // DomainGPU names the GPU card's voltage domain.
 const DomainGPU = "gpu-smx"
@@ -39,50 +41,4 @@ func GPUSM() uarch.Config {
 		IdleSlotCharge: 0.02e-9,
 		CurrentSlewTau: 1.5e-9,
 	}
-}
-
-// gpuPDN is calibrated for a ~55 MHz first-order resonance with all eight
-// SMs powered: a big die with lots of capacitance on a stiff package.
-func gpuPDN() pdn.Params {
-	return pdn.Params{
-		Name:       "gpu-card",
-		VNominal:   1.05,
-		CDieCore:   15e-9,
-		CDieUncore: 40e-9,
-		RDie:       0.004,
-		LPkg:       28.5e-12,
-		RPkgTrace:  0.2e-3,
-		CPkg:       6e-6,
-		ESRPkg:     10e-3,
-		ESLPkg:     20e-12,
-		LPcb:       1.5e-9,
-		RPcbTrace:  0.6e-3,
-		CPcb:       800e-6,
-		ESRPcb:     1.5e-3,
-		ESLPcb:     1e-9,
-		LVrm:       10e-9,
-		RVrm:       0.3e-3,
-	}
-}
-
-// GPUCard builds a discrete-GPU platform: one rail feeding eight SMs.
-// The domain has no voltage visibility — exactly the situation where the
-// EM methodology is the only practical option.
-func GPUCard() (*Platform, error) {
-	smx := Spec{
-		Name:              DomainGPU,
-		Board:             "discrete GPU card",
-		ISA:               isa.ARM64, // SM ISA stands in via the generic pool
-		PDN:               gpuPDN(),
-		Core:              GPUSM(),
-		TotalCores:        8,
-		MaxClockHz:        1.1e9,
-		ClockStepHz:       25e6,
-		VoltageVisibility: "none",
-		EMPath:            em.Path{DistanceM: 0.06, CouplingK: 1.5e-5, RefHz: 100e6, RefDistanceM: 0.07},
-		Failure:           FailureParams{VCritAtMax: 0.80, SlackPerHz: 1.2e-10, SDCBand: 0.010},
-		TechNode:          12,
-		OS:                "driver-managed",
-	}
-	return NewPlatform("gpu-card", em.DefaultLoopAntenna(), smx)
 }

@@ -1,0 +1,302 @@
+package platform
+
+// Byte-identity pins for the spec registry refactor. Before this package's
+// platforms became embedded spec files they were Go constructors; these
+// tests replicate the removed constructors verbatim and prove that a
+// registry-loaded platform is indistinguishable from the compiled-in one:
+// same Spec structs (DeepEqual), same SpecContentHash (so every persistent
+// castore/memo key written before the refactor still hits), and same PDN
+// transfer spectra bit for bit.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/em"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+	"repro/internal/uarch"
+)
+
+// --- the removed boards.go constructors, verbatim ---
+
+func oldJunoA72PDN() pdn.Params {
+	return pdn.Params{
+		Name:       "juno-a72",
+		VNominal:   1.0,
+		CDieCore:   12e-9,
+		CDieUncore: 7.3e-9,
+		RDie:       0.014,
+		LPkg:       136.9e-12,
+		RPkgTrace:  0.4e-3,
+		CPkg:       1e-6,
+		ESRPkg:     15e-3,
+		ESLPkg:     50e-12,
+		LPcb:       2e-9,
+		RPcbTrace:  1e-3,
+		CPcb:       300e-6,
+		ESRPcb:     2e-3,
+		ESLPcb:     1e-9,
+		LVrm:       20e-9,
+		RVrm:       0.5e-3,
+	}
+}
+
+func oldJunoA53PDN() pdn.Params {
+	p := oldJunoA72PDN()
+	p.Name = "juno-a53"
+	p.CDieCore = 4e-9
+	p.CDieUncore = 15.7e-9
+	p.RDie = 0.012
+	p.LPkg = 91.8e-12
+	return p
+}
+
+func oldAthlonPDN() pdn.Params {
+	return pdn.Params{
+		Name:       "athlon-ii",
+		VNominal:   1.4,
+		CDieCore:   10e-9,
+		CDieUncore: 10e-9,
+		RDie:       0.005,
+		LPkg:       75.68e-12,
+		RPkgTrace:  0.15e-3,
+		CPkg:       4e-6,
+		ESRPkg:     12e-3,
+		ESLPkg:     8e-12,
+		LPcb:       1.2e-9,
+		RPcbTrace:  0.5e-3,
+		CPcb:       1000e-6,
+		ESRPcb:     1.5e-3,
+		ESLPcb:     1e-9,
+		LVrm:       12e-9,
+		RVrm:       0.3e-3,
+	}
+}
+
+func oldGPUPDN() pdn.Params {
+	return pdn.Params{
+		Name:       "gpu-card",
+		VNominal:   1.05,
+		CDieCore:   15e-9,
+		CDieUncore: 40e-9,
+		RDie:       0.004,
+		LPkg:       28.5e-12,
+		RPkgTrace:  0.2e-3,
+		CPkg:       6e-6,
+		ESRPkg:     10e-3,
+		ESLPkg:     20e-12,
+		LPcb:       1.5e-9,
+		RPcbTrace:  0.6e-3,
+		CPcb:       800e-6,
+		ESRPcb:     1.5e-3,
+		ESLPcb:     1e-9,
+		LVrm:       10e-9,
+		RVrm:       0.3e-3,
+	}
+}
+
+func oldJunoR2() (*Platform, error) {
+	a72 := Spec{
+		Name:              DomainA72,
+		Board:             "Juno Board R2",
+		ISA:               isa.ARM64,
+		PDN:               oldJunoA72PDN(),
+		Core:              uarch.CortexA72(),
+		TotalCores:        2,
+		MaxClockHz:        1.2e9,
+		ClockStepHz:       20e6,
+		VoltageVisibility: "oc-dso",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 1e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 0.739, SlackPerHz: 1.0e-10, SDCBand: 0.010},
+		TechNode:          16,
+		OS:                "Debian (4.4.0-135-arm64)",
+	}
+	a53 := Spec{
+		Name:              DomainA53,
+		Board:             "Juno Board R2",
+		ISA:               isa.ARM64,
+		PDN:               oldJunoA53PDN(),
+		Core:              uarch.CortexA53(),
+		TotalCores:        4,
+		MaxClockHz:        0.95e9,
+		ClockStepHz:       25e6,
+		VoltageVisibility: "none",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 0.8e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 0.788, SlackPerHz: 1.0e-10, SDCBand: 0.010},
+		TechNode:          16,
+		OS:                "Debian (4.4.0-135-arm64)",
+	}
+	return NewPlatform("juno-r2", em.DefaultLoopAntenna(), a72, a53)
+}
+
+func oldAMDDesktop() (*Platform, error) {
+	athlon := Spec{
+		Name:              DomainAthlon,
+		Board:             "Asus M5A78L LE",
+		ISA:               isa.X86,
+		PDN:               oldAthlonPDN(),
+		Core:              uarch.AthlonII(),
+		TotalCores:        4,
+		MaxClockHz:        3.1e9,
+		ClockStepHz:       100e6,
+		VoltageVisibility: "kelvin-pads",
+		EMPath:            em.Path{DistanceM: 0.07, CouplingK: 2e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 1.187, SlackPerHz: 2.0e-11, SDCBand: 0.0125},
+		TechNode:          45,
+		OS:                "Windows 8.1",
+	}
+	return NewPlatform("amd-desktop", em.DefaultLoopAntenna(), athlon)
+}
+
+func oldGPUCard() (*Platform, error) {
+	smx := Spec{
+		Name:              DomainGPU,
+		Board:             "discrete GPU card",
+		ISA:               isa.ARM64,
+		PDN:               oldGPUPDN(),
+		Core:              GPUSM(),
+		TotalCores:        8,
+		MaxClockHz:        1.1e9,
+		ClockStepHz:       25e6,
+		VoltageVisibility: "none",
+		EMPath:            em.Path{DistanceM: 0.06, CouplingK: 1.5e-5, RefHz: 100e6, RefDistanceM: 0.07},
+		Failure:           FailureParams{VCritAtMax: 0.80, SlackPerHz: 1.2e-10, SDCBand: 0.010},
+		TechNode:          12,
+		OS:                "driver-managed",
+	}
+	return NewPlatform("gpu-card", em.DefaultLoopAntenna(), smx)
+}
+
+// --- the pins ---
+
+var pinnedPlatforms = []struct {
+	name string
+	old  func() (*Platform, error)
+}{
+	{"juno-r2", oldJunoR2},
+	{"amd-desktop", oldAMDDesktop},
+	{"gpu-card", oldGPUCard},
+}
+
+// TestRegistrySpecsPinnedToConstructors proves the embedded spec files load
+// into exactly the Spec structs the deleted constructors produced.
+func TestRegistrySpecsPinnedToConstructors(t *testing.T) {
+	for _, pc := range pinnedPlatforms {
+		want, err := pc.old()
+		if err != nil {
+			t.Fatalf("%s: old constructor: %v", pc.name, err)
+		}
+		got, err := Build(pc.name)
+		if err != nil {
+			t.Fatalf("%s: registry build: %v", pc.name, err)
+		}
+		if got.Name != want.Name {
+			t.Errorf("%s: platform name %q, want %q", pc.name, got.Name, want.Name)
+		}
+		if !reflect.DeepEqual(got.Antenna, want.Antenna) {
+			t.Errorf("%s: antenna differs:\n got %+v\nwant %+v", pc.name, got.Antenna, want.Antenna)
+		}
+		gd, wd := got.Domains(), want.Domains()
+		if len(gd) != len(wd) {
+			t.Fatalf("%s: %d domains, want %d", pc.name, len(gd), len(wd))
+		}
+		for i := range gd {
+			if !reflect.DeepEqual(gd[i].Spec, wd[i].Spec) {
+				t.Errorf("%s: domain %s spec differs:\n got %+v\nwant %+v",
+					pc.name, wd[i].Spec.Name, gd[i].Spec, wd[i].Spec)
+			}
+		}
+	}
+}
+
+// TestRegistrySpecContentHashStable pins the persistent-cache identity: a
+// registry-loaded domain must produce the same SpecContentHash as the old
+// compiled-in one, so every castore entry written before the refactor still
+// resolves.
+func TestRegistrySpecContentHashStable(t *testing.T) {
+	for _, pc := range pinnedPlatforms {
+		want, err := pc.old()
+		if err != nil {
+			t.Fatalf("%s: old constructor: %v", pc.name, err)
+		}
+		got, err := Build(pc.name)
+		if err != nil {
+			t.Fatalf("%s: registry build: %v", pc.name, err)
+		}
+		gd, wd := got.Domains(), want.Domains()
+		for i := range gd {
+			gh, wh := gd[i].SpecContentHash(), wd[i].SpecContentHash()
+			if gh != wh {
+				t.Errorf("%s/%s: SpecContentHash %#x, want %#x (castore keys would move)",
+					pc.name, wd[i].Spec.Name, gh, wh)
+			}
+		}
+	}
+}
+
+// TestRegistrySpectraIdentity pins the electrical model end to end: the
+// PDN transfer spectra computed from a registry-loaded domain are bit-
+// identical to the old constructor's.
+func TestRegistrySpectraIdentity(t *testing.T) {
+	for _, pc := range pinnedPlatforms {
+		want, err := pc.old()
+		if err != nil {
+			t.Fatalf("%s: old constructor: %v", pc.name, err)
+		}
+		got, err := Build(pc.name)
+		if err != nil {
+			t.Fatalf("%s: registry build: %v", pc.name, err)
+		}
+		gd, wd := got.Domains(), want.Domains()
+		for i := range gd {
+			dt := 1.0 / gd[i].ClockHz()
+			gts, err := gd[i].transferSet(1024, dt)
+			if err != nil {
+				t.Fatalf("%s/%s: registry transfer set: %v", pc.name, gd[i].Spec.Name, err)
+			}
+			wts, err := wd[i].transferSet(1024, dt)
+			if err != nil {
+				t.Fatalf("%s/%s: constructor transfer set: %v", pc.name, wd[i].Spec.Name, err)
+			}
+			if !reflect.DeepEqual(gts, wts) {
+				t.Errorf("%s/%s: transfer spectra differ between registry and constructor",
+					pc.name, wd[i].Spec.Name)
+			}
+		}
+	}
+}
+
+// TestRegistrySourceRoundTrip proves each embedded source re-parses to the
+// same Spec set (load → save → load is a fixed point).
+func TestRegistrySourceRoundTrip(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		src, err := Builtin().Source(name)
+		if err != nil {
+			t.Fatalf("%s: source: %v", name, err)
+		}
+		f1, err := ParsePlatformSpec(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		p1, err := f1.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		var buf2 bytes.Buffer
+		if err := SavePlatformSpecJSON(&buf2, p1); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		f2, err := ParsePlatformSpec(buf2.Bytes())
+		if err != nil {
+			t.Fatalf("%s: re-parse of saved spec: %v", name, err)
+		}
+		if !reflect.DeepEqual(f1.Specs, f2.Specs) {
+			t.Errorf("%s: specs changed across save/load round trip", name)
+		}
+		if !reflect.DeepEqual(f1.Antenna, f2.Antenna) {
+			t.Errorf("%s: antenna changed across save/load round trip", name)
+		}
+	}
+}

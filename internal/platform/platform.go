@@ -170,6 +170,15 @@ func NewDomain(spec Spec) (*Domain, error) {
 // Pool returns the instruction pool for the domain's ISA.
 func (s Spec) Pool() *isa.Pool { return isa.PoolFor(s.ISA) }
 
+// VminStepVolts returns the supply-step granularity used in V_MIN searches
+// on this domain (10 mV on the Juno rails, 12.5 mV on the AMD board).
+func (s Spec) VminStepVolts() float64 {
+	if s.ISA == isa.X86 {
+		return 0.0125
+	}
+	return 0.010
+}
+
 // PoweredCores returns the number of powered (not power-gated) cores.
 func (d *Domain) PoweredCores() int {
 	d.mu.Lock()

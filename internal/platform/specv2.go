@@ -1,0 +1,304 @@
+package platform
+
+// Schema v2: one file describes a whole platform rather than one domain.
+//
+//	{
+//	  "spec_version": 2,
+//	  "name": "juno-r2",
+//	  "antenna": {"self_resonance_hz": 2.95e9, "q": 8, ...},
+//	  "archs":  {"riscv64": {"int_regs": 31, ..., "instructions": [...]}},
+//	  "pdns":   {"shared-rail": {"name": "biglittle", "v_nominal": 1.0, ...}},
+//	  "domains": [
+//	    {"name": "big", "isa": "arm64", "pdn_ref": "shared-rail", ...},
+//	    {"name": "little", "isa": "arm64", "pdn_ref": "shared-rail", ...}
+//	  ]
+//	}
+//
+// What v2 adds over v1:
+//
+//   - antenna/platform grouping: the receiver antenna and the platform name
+//     live in the file, so a multi-domain board is one artifact;
+//   - symbolic ISA references ("isa": "arm64") or data-defined
+//     architectures (an "archs" entry registers the name and its
+//     instruction pool via isa.DefineArchJSON — a new ISA is a table, not
+//     a Go fork);
+//   - named PDNs: several domains may reference one electrical network
+//     through "pdn_ref" (the big.LITTLE shared-rail scenario) instead of
+//     duplicating — and possibly fork-editing — the parameter block.
+//
+// Decoding is strict throughout, and every error carries the field path of
+// the offending section ("domains[1].core.units: unknown functional unit
+// "sind"").
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+
+	"repro/internal/em"
+	"repro/internal/isa"
+	"repro/internal/pdn"
+)
+
+// SpecVersion is the current (newest writable) schema version.
+const SpecVersion = 2
+
+type fileJSON struct {
+	SpecVersion int                        `json:"spec_version"`
+	Name        string                     `json:"name"`
+	Antenna     em.Antenna                 `json:"antenna"`
+	Archs       map[string]json.RawMessage `json:"archs,omitempty"`
+	PDNs        map[string]pdn.Params      `json:"pdns,omitempty"`
+	Domains     []json.RawMessage          `json:"domains"`
+}
+
+// domainJSON is specJSON plus the v2-only PDN reference; exactly one of
+// "pdn" and "pdn_ref" must be present.
+type domainJSON struct {
+	Name              string      `json:"name"`
+	Board             string      `json:"board"`
+	ISA               string      `json:"isa"`
+	PDN               *jsonPDN    `json:"pdn,omitempty"`
+	PDNRef            string      `json:"pdn_ref,omitempty"`
+	Core              coreJSON    `json:"core"`
+	TotalCores        int         `json:"total_cores"`
+	MaxClockHz        float64     `json:"max_clock_hz"`
+	ClockStepHz       float64     `json:"clock_step_hz"`
+	VoltageVisibility string      `json:"voltage_visibility"`
+	EMPath            jsonEMPath  `json:"em_path"`
+	Failure           jsonFailure `json:"failure"`
+	TechNode          int         `json:"tech_node_nm"`
+	OS                string      `json:"os"`
+}
+
+// File is a parsed, fully validated platform spec: every arch reference
+// resolved (data-defined ones registered), every PDN reference expanded,
+// every domain spec constructible.
+type File struct {
+	Name    string
+	Antenna em.Antenna
+	Specs   []Spec
+}
+
+// Build assembles a fresh Platform (domains carry mutable operating-point
+// state, so every call returns an independent instance).
+func (f *File) Build() (*Platform, error) {
+	return NewPlatform(f.Name, f.Antenna, f.Specs...)
+}
+
+// sniffVersion reads the schema version without committing to a shape:
+// a missing "spec_version" key is version 1 (the original single-domain
+// format predates versioning).
+func sniffVersion(data []byte) (int, error) {
+	var probe struct {
+		SpecVersion *int `json:"spec_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, fmt.Errorf("platform: decoding spec: %w", err)
+	}
+	if probe.SpecVersion == nil {
+		return 1, nil
+	}
+	return *probe.SpecVersion, nil
+}
+
+// ParsePlatformSpec parses and validates a spec file of any supported
+// schema version into a File. Data-defined architectures in a v2 "archs"
+// section are registered process-wide (idempotently) as a side effect, so
+// the resulting Specs' instruction pools resolve through isa.PoolFor like
+// any built-in.
+func ParsePlatformSpec(data []byte) (*File, error) {
+	ver, err := sniffVersion(data)
+	if err != nil {
+		return nil, err
+	}
+	switch ver {
+	case 1:
+		spec, err := loadSpecV1(data)
+		if err != nil {
+			return nil, err
+		}
+		return &File{Name: spec.Name, Antenna: em.DefaultLoopAntenna(), Specs: []Spec{spec}}, nil
+	case 2:
+		return parseFileV2(data)
+	default:
+		return nil, fmt.Errorf("platform: unsupported spec_version %d (this build reads versions 1 and 2)", ver)
+	}
+}
+
+func parseFileV2(data []byte) (*File, error) {
+	var in fileJSON
+	if err := decodeStrict(data, &in, "spec"); err != nil {
+		return nil, err
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("platform: spec.name: empty platform name")
+	}
+	if err := in.Antenna.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: spec.antenna: %w", err)
+	}
+	if len(in.Domains) == 0 {
+		return nil, fmt.Errorf("platform: spec.domains: platform %s declares no domains", in.Name)
+	}
+
+	// Register data-defined architectures first (sorted for deterministic
+	// error attribution) so domain "isa" references resolve.
+	archNames := make([]string, 0, len(in.Archs))
+	for name := range in.Archs {
+		archNames = append(archNames, name)
+	}
+	sort.Strings(archNames)
+	for _, name := range archNames {
+		if _, err := isa.DefineArchJSON(name, in.Archs[name]); err != nil {
+			return nil, fmt.Errorf("platform: spec.archs[%q]: %w", name, err)
+		}
+	}
+
+	f := &File{Name: in.Name, Antenna: in.Antenna}
+	seen := make(map[string]bool, len(in.Domains))
+	for i, raw := range in.Domains {
+		path := fmt.Sprintf("spec.domains[%d]", i)
+		var dj domainJSON
+		if err := decodeStrict(raw, &dj, path); err != nil {
+			return nil, err
+		}
+		switch {
+		case dj.PDN != nil && dj.PDNRef != "":
+			return nil, fmt.Errorf("platform: %s: both pdn and pdn_ref given; pick one", path)
+		case dj.PDN == nil && dj.PDNRef == "":
+			return nil, fmt.Errorf("platform: %s: neither pdn nor pdn_ref given", path)
+		case dj.PDNRef != "":
+			p, ok := in.PDNs[dj.PDNRef]
+			if !ok {
+				return nil, fmt.Errorf("platform: %s.pdn_ref: no pdns entry %q", path, dj.PDNRef)
+			}
+			dj.PDN = &p
+		}
+		spec, err := specFromJSON(specJSON{
+			Name:              dj.Name,
+			Board:             dj.Board,
+			ISA:               dj.ISA,
+			PDN:               *dj.PDN,
+			Core:              dj.Core,
+			TotalCores:        dj.TotalCores,
+			MaxClockHz:        dj.MaxClockHz,
+			ClockStepHz:       dj.ClockStepHz,
+			VoltageVisibility: dj.VoltageVisibility,
+			EMPath:            dj.EMPath,
+			Failure:           dj.Failure,
+			TechNode:          dj.TechNode,
+			OS:                dj.OS,
+		}, path)
+		if err != nil {
+			return nil, err
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("platform: %s: duplicate domain %q", path, spec.Name)
+		}
+		seen[spec.Name] = true
+		f.Specs = append(f.Specs, spec)
+	}
+	return f, nil
+}
+
+// LoadPlatformJSON reads a spec file of any supported version from r and
+// builds the platform it describes. A v1 (single-domain) file gets the
+// default loop antenna, exactly as the CLI always treated it.
+func LoadPlatformJSON(r io.Reader) (*Platform, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("platform: reading spec: %w", err)
+	}
+	f, err := ParsePlatformSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Build()
+}
+
+// SavePlatformSpecJSON writes a whole platform as an indented v2 spec
+// file. Data-defined architectures are embedded as "archs" entries (the
+// two legacy built-ins are referenced by name only); PDN blocks that are
+// byte-identical across domains are hoisted into one named "pdns" entry
+// referenced by each sharer, preserving the shared-rail structure on a
+// round trip.
+func SavePlatformSpecJSON(w io.Writer, p *Platform) error {
+	out := fileJSON{
+		SpecVersion: SpecVersion,
+		Name:        p.Name,
+		Antenna:     p.Antenna,
+	}
+	domains := p.Domains()
+
+	// Hoist PDNs shared (identically) by several domains.
+	shared := make(map[string]int) // pdn name -> sharer count
+	for _, d := range domains {
+		for _, o := range domains {
+			if d != o && reflect.DeepEqual(d.Spec.PDN, o.Spec.PDN) {
+				shared[d.Spec.PDN.Name]++
+				break
+			}
+		}
+	}
+
+	for _, d := range domains {
+		s := d.Spec
+		if isa.PoolFor(s.ISA) == nil {
+			return fmt.Errorf("platform: encoding %s: domain %s has no registered instruction pool", p.Name, s.Name)
+		}
+		if s.ISA != isa.ARM64 && s.ISA != isa.X86 {
+			if out.Archs == nil {
+				out.Archs = make(map[string]json.RawMessage)
+			}
+			if _, done := out.Archs[s.ISA.String()]; !done {
+				raw, err := isa.MarshalPoolJSON(isa.PoolFor(s.ISA))
+				if err != nil {
+					return fmt.Errorf("platform: encoding %s: arch %s: %w", p.Name, s.ISA, err)
+				}
+				out.Archs[s.ISA.String()] = raw
+			}
+		}
+		sj := specToJSON(s)
+		dj := domainJSON{
+			Name:              sj.Name,
+			Board:             sj.Board,
+			ISA:               sj.ISA,
+			Core:              sj.Core,
+			TotalCores:        sj.TotalCores,
+			MaxClockHz:        sj.MaxClockHz,
+			ClockStepHz:       sj.ClockStepHz,
+			VoltageVisibility: sj.VoltageVisibility,
+			EMPath:            sj.EMPath,
+			Failure:           sj.Failure,
+			TechNode:          sj.TechNode,
+			OS:                sj.OS,
+		}
+		if _, ok := shared[s.PDN.Name]; ok {
+			if out.PDNs == nil {
+				out.PDNs = make(map[string]pdn.Params)
+			}
+			if prev, dup := out.PDNs[s.PDN.Name]; dup && !reflect.DeepEqual(prev, s.PDN) {
+				return fmt.Errorf("platform: encoding %s: two distinct PDNs share the name %q", p.Name, s.PDN.Name)
+			}
+			out.PDNs[s.PDN.Name] = s.PDN
+			dj.PDNRef = s.PDN.Name
+		} else {
+			pdnCopy := s.PDN
+			dj.PDN = &pdnCopy
+		}
+		raw, err := json.Marshal(dj)
+		if err != nil {
+			return fmt.Errorf("platform: encoding %s: domain %s: %w", p.Name, s.Name, err)
+		}
+		out.Domains = append(out.Domains, raw)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("platform: encoding platform spec: %w", err)
+	}
+	return nil
+}

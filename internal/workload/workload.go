@@ -39,16 +39,17 @@ func want(p *isa.Pool, names ...string) (*isa.Def, error) {
 }
 
 // Cross-ISA mnemonic aliases: the first name is the ARM form, the second
-// the x86 form.
-func aliasLoad(p *isa.Pool) (*isa.Def, error)  { return want(p, "ldr", "movload") }
-func aliasStore(p *isa.Pool) (*isa.Def, error) { return want(p, "str", "movstore") }
-func aliasFAdd(p *isa.Pool) (*isa.Def, error)  { return want(p, "fadd", "addsd") }
-func aliasFMul(p *isa.Pool) (*isa.Def, error)  { return want(p, "fmul", "mulsd") }
-func aliasFDiv(p *isa.Pool) (*isa.Def, error)  { return want(p, "fdiv", "divsd") }
-func aliasSqrt(p *isa.Pool) (*isa.Def, error)  { return want(p, "fsqrt", "sqrtsd") }
-func aliasVAdd(p *isa.Pool) (*isa.Def, error)  { return want(p, "vadd", "addps") }
-func aliasVMul(p *isa.Pool) (*isa.Def, error)  { return want(p, "vmul", "mulps") }
-func aliasDiv(p *isa.Pool) (*isa.Def, error)   { return want(p, "sdiv", "idiv") }
+// the x86 form, the third the RISC-V form. A data-defined pool can use any
+// of them; the loop builders only care about the role.
+func aliasLoad(p *isa.Pool) (*isa.Def, error)  { return want(p, "ldr", "movload", "ld") }
+func aliasStore(p *isa.Pool) (*isa.Def, error) { return want(p, "str", "movstore", "sd") }
+func aliasFAdd(p *isa.Pool) (*isa.Def, error)  { return want(p, "fadd", "addsd", "fadd.d") }
+func aliasFMul(p *isa.Pool) (*isa.Def, error)  { return want(p, "fmul", "mulsd", "fmul.d") }
+func aliasFDiv(p *isa.Pool) (*isa.Def, error)  { return want(p, "fdiv", "divsd", "fdiv.d") }
+func aliasSqrt(p *isa.Pool) (*isa.Def, error)  { return want(p, "fsqrt", "sqrtsd", "fsqrt.d") }
+func aliasVAdd(p *isa.Pool) (*isa.Def, error)  { return want(p, "vadd", "addps", "vadd.vv") }
+func aliasVMul(p *isa.Pool) (*isa.Def, error)  { return want(p, "vmul", "mulps", "vmul.vv") }
+func aliasDiv(p *isa.Pool) (*isa.Def, error)   { return want(p, "sdiv", "idiv", "div") }
 func aliasMul(p *isa.Pool) (*isa.Def, error)   { return want(p, "mul", "imul") }
 
 // seqBuilder accumulates instructions with round-robin operand assignment.
@@ -150,7 +151,7 @@ func Idle() Workload {
 		Description: "idle CPU (wfi proxy)",
 		Build: func(p *isa.Pool) ([]isa.Inst, error) {
 			b := newSeqBuilder(p)
-			return b.indep(b.def(want(p, "mov"))).build()
+			return b.indep(b.def(want(p, "mov", "mv"))).build()
 		},
 	}
 }
